@@ -1,0 +1,127 @@
+package asymfence_test
+
+import (
+	"strings"
+	"testing"
+
+	"asymfence"
+)
+
+// TestPublicAPIQuickstart exercises the documented entry points end to
+// end: assemble a program, run a machine, inspect registers and memory.
+func TestPublicAPIQuickstart(t *testing.T) {
+	b := asymfence.NewProgram("hello")
+	b.Li(1, 0x1000)
+	b.Li(2, 7)
+	b.St(2, 1, 0)
+	b.Ld(3, 1, 0)
+	b.SFence()
+	b.Halt()
+	prog := b.MustBuild()
+
+	store := asymfence.NewStore()
+	m, err := asymfence.NewMachine(asymfence.Config{Cores: 1, Design: asymfence.SPlus},
+		[]*asymfence.Program{prog}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Reg(0, 3); got != 7 {
+		t.Fatalf("r3 = %d, want 7", got)
+	}
+	if got := store.Load(0x1000); got != 7 {
+		t.Fatalf("mem = %d, want 7", got)
+	}
+}
+
+func TestWorkloadRegistries(t *testing.T) {
+	if got := asymfence.CilkApps(); len(got) != 10 {
+		t.Errorf("CilkApps: %d entries, want 10 (paper Table 3)", len(got))
+	}
+	if got := asymfence.USTMBenchmarks(); len(got) != 10 {
+		t.Errorf("ustm: %d entries, want 10 (paper Table 3)", len(got))
+	}
+	if got := asymfence.STAMPApps(); len(got) != 6 {
+		t.Errorf("STAMP: %d entries, want 6 (paper Table 3)", len(got))
+	}
+}
+
+func TestRunWorkloadByName(t *testing.T) {
+	m, err := asymfence.RunCilkApp("matmul", asymfence.WSPlus, 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles == 0 || m.App != "matmul" {
+		t.Fatalf("bad measurement: %+v", m)
+	}
+	if _, err := asymfence.RunCilkApp("nope", asymfence.WSPlus, 4, 0.1); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	um, err := asymfence.RunUSTMBenchmark("Hash", asymfence.WPlus, 4, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if um.Commits == 0 {
+		t.Fatal("no transactions committed")
+	}
+	sm, err := asymfence.RunSTAMPApp("ssca2", asymfence.SPlus, 4, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Commits == 0 {
+		t.Fatal("no STAMP transactions committed")
+	}
+}
+
+func TestRunExperimentValidation(t *testing.T) {
+	if _, err := asymfence.RunExperiment("fig99", asymfence.ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	tables, err := asymfence.RunExperiment("fig8", asymfence.ExperimentOptions{Scale: 0.05, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	s := tables[0].String()
+	if !strings.Contains(s, "Fig. 8") || !strings.Contains(s, "matmul") {
+		t.Fatalf("table incomplete:\n%s", s)
+	}
+	md := tables[0].Markdown()
+	if !strings.Contains(md, "|") || !strings.Contains(md, "###") {
+		t.Fatal("markdown rendering broken")
+	}
+}
+
+// TestDekkerThroughPublicAPI is the quickstart example's claim as a test:
+// asymmetric fences prevent the SC violation and the weak-fence thread
+// stalls less.
+func TestDekkerThroughPublicAPI(t *testing.T) {
+	build := func(mine, other uint32, weak bool) *asymfence.Program {
+		b := asymfence.NewProgram("dekker")
+		b.Li(1, int32(mine))
+		b.Li(2, 1)
+		b.St(2, 1, 0)
+		b.Fence(weak)
+		b.Li(1, int32(other))
+		b.Ld(10, 1, 0)
+		b.Halt()
+		return b.MustBuild()
+	}
+	idle := asymfence.NewProgram("idle").Halt().MustBuild()
+	m, err := asymfence.NewMachine(asymfence.Config{Cores: 4, Design: asymfence.WSPlus},
+		[]*asymfence.Program{build(0x1000, 0x1020, true), build(0x1020, 0x1000, false), idle, idle},
+		asymfence.NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(0, 10) == 0 && m.Reg(1, 10) == 0 {
+		t.Fatal("SC violation under WS+")
+	}
+}

@@ -1,0 +1,59 @@
+// Command asymsim regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	asymsim [flags] <experiment>
+//
+// where <experiment> is one of fig8, fig9, fig10, fig11, fig12, table4,
+// headline, or all. Each prints the same rows/series the paper reports
+// (see DESIGN.md §5 for the mapping and the paper's reference values).
+//
+//	asymsim fig8                 # CilkApps execution time, 8 cores
+//	asymsim -scale 0.25 fig11    # quick STAMP run
+//	asymsim -md all > results.md # everything, as markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asymfence"
+)
+
+func main() {
+	cores := flag.Int("cores", 8, "core count (power of two; Table 2 default is 8)")
+	scale := flag.Float64("scale", 1.0, "execution-time run scale (1.0 = full)")
+	horizon := flag.Int64("horizon", 0, "throughput-run length in cycles (0 = default)")
+	md := flag.Bool("md", false, "emit markdown tables")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: asymsim [flags] <experiment>\n"+
+			"       asymsim [flags] run <group>:<app>   (e.g. run cilk:fib, run ustm:List)\n\n"+
+			"experiments: %v, all\n\nflags:\n",
+			asymfence.ExperimentIDs)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if maybeRun(flag.Args(), *cores, *scale, *horizon) {
+		return
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	id := flag.Arg(0)
+	tables, err := asymfence.RunExperiment(id, asymfence.ExperimentOptions{
+		Cores: *cores, Scale: *scale, Horizon: *horizon,
+	})
+	for _, t := range tables {
+		if *md {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asymsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"asymfence"
+)
+
+// runOne handles `asymsim run <group>:<app>`: a single (workload, design)
+// sweep with the cycle breakdown and the fence-site stall profile.
+func runOne(spec string, cores int, scale float64, horizon int64) error {
+	group, app, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("workload spec must be <group>:<app>, e.g. cilk:fib (groups: cilk, ustm, stamp)")
+	}
+	if horizon == 0 {
+		horizon = 60_000
+	}
+	fmt.Printf("%s under each design (%d cores):\n\n", spec, cores)
+	for _, d := range append(asymfence.AllDesigns, asymfence.CFenceDesign) {
+		var (
+			m   *asymfence.WorkloadMeasurement
+			err error
+		)
+		switch group {
+		case "cilk":
+			m, err = asymfence.RunCilkApp(app, d, cores, scale)
+		case "ustm":
+			m, err = asymfence.RunUSTMBenchmark(app, d, cores, horizon)
+		case "stamp":
+			m, err = asymfence.RunSTAMPApp(app, d, cores, scale)
+		default:
+			return fmt.Errorf("unknown group %q (cilk, ustm, stamp)", group)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s cycles=%-8d txn/Mcyc=%-8.0f busy=%5.1f%%  other=%5.1f%%  fence=%5.1f%%  sf=%d wf=%d recov=%d\n",
+			d, m.Cycles, m.Throughput(), 100*m.Busy, 100*m.OtherStall, 100*m.FenceStall,
+			m.Agg.SFences, m.Agg.WFences, m.Agg.Recoveries)
+		if top := m.Agg.TopFenceSites(3); len(top) > 0 && m.Agg.FenceStallCycles > 0 {
+			fmt.Printf("         top fence-stall sites (pc: cycles):")
+			for _, site := range top {
+				fmt.Printf("  %d: %d", site.PC, site.Cycles)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("\n(pc values index the workload's disassembly; the fence-site profile")
+	fmt.Println(" shows which fence — take/steal, read/write/commit barrier — pays the stall)")
+	return nil
+}
+
+func maybeRun(args []string, cores int, scale float64, horizon int64) bool {
+	if len(args) != 2 || args[0] != "run" {
+		return false
+	}
+	if err := runOne(args[1], cores, scale, horizon); err != nil {
+		fmt.Fprintln(os.Stderr, "asymsim:", err)
+		os.Exit(1)
+	}
+	return true
+}

@@ -1,0 +1,54 @@
+// Quickstart: the Dekker / store-buffering pattern that motivates the
+// paper (Fig. 1). Two threads each write a flag, fence, and read the
+// other's flag. Without fences, TSO's store→load reordering lets both
+// threads read 0 — a sequential-consistency violation. With fences the
+// violation is impossible; with an *asymmetric* fence pair (weak fence in
+// the critical thread, strong fence in the other) the critical thread
+// additionally runs nearly stall-free.
+package main
+
+import (
+	"fmt"
+
+	"asymfence"
+	"asymfence/internal/mem"
+	"asymfence/internal/workloads/litmus"
+)
+
+func run(name string, design asymfence.Design, f0, f1 litmus.FenceChoice) {
+	al := asymfence.NewAllocator(0x1000)
+	progs, _ := litmus.SB(al, f0, f1, 3)
+	m, err := asymfence.NewMachine(asymfence.Config{Cores: 4, Design: design},
+		[]*asymfence.Program{progs[0], progs[1], litmus.Idle(), litmus.Idle()},
+		asymfence.NewStore())
+	if err != nil {
+		panic(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		fmt.Printf("%-28s %v\n", name, err)
+		return
+	}
+	r0, r1 := m.Reg(0, 10), m.Reg(1, 10)
+	scv := ""
+	if r0 == 0 && r1 == 0 {
+		scv = "  <-- SC VIOLATION (both read 0)"
+	}
+	fmt.Printf("%-28s t0 read %d, t1 read %d | fence stall: t0=%-5d t1=%-5d cycles%s\n",
+		name, r0, r1, res.Cores[0].FenceStallCycles, res.Cores[1].FenceStallCycles, scv)
+	_ = mem.LineSize
+}
+
+func main() {
+	fmt.Println("Dekker store-buffering litmus (paper Fig. 1d) on the simulated TSO multicore")
+	fmt.Println()
+	run("no fences:", asymfence.SPlus, litmus.None, litmus.None)
+	run("S+  (sf / sf):", asymfence.SPlus, litmus.Strong, litmus.Strong)
+	run("WS+ (wf / sf):", asymfence.WSPlus, litmus.Weak, litmus.Strong)
+	run("SW+ (wf / sf):", asymfence.SWPlus, litmus.Weak, litmus.Strong)
+	run("W+  (wf / wf):", asymfence.WPlus, litmus.Weak, litmus.Weak)
+	run("Wee (wf / wf):", asymfence.Wee, litmus.Weak, litmus.Weak)
+	fmt.Println()
+	fmt.Println("Note how the weak-fence thread's stall is far below the strong-fence")
+	fmt.Println("thread's, and how W+ resolves the all-weak group by rollback recovery.")
+}

@@ -1,0 +1,80 @@
+package asymfence
+
+import (
+	"fmt"
+
+	"asymfence/internal/experiments"
+)
+
+// ExperimentTable is a rendered experiment result.
+type ExperimentTable = experiments.Table
+
+// ExperimentOptions tune the experiment harness.
+type ExperimentOptions struct {
+	// Cores (default 8, the paper's configuration).
+	Cores int
+	// Scale shrinks execution-time runs (1.0 = full, e.g. 0.25 for CI).
+	Scale float64
+	// Horizon is the throughput-run length in cycles (default 60k).
+	Horizon int64
+	// CoreCounts for the scalability study (default 4, 8, 16, 32).
+	CoreCounts []int
+}
+
+func (o *ExperimentOptions) defaults() {
+	if o.Cores == 0 {
+		o.Cores = experiments.DefaultCores
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Horizon == 0 {
+		o.Horizon = experiments.USTMHorizon
+	}
+}
+
+// ExperimentIDs lists the regenerable artifacts of the paper's
+// evaluation, in paper order.
+var ExperimentIDs = []string{"fig8", "fig9", "fig10", "fig11", "fig12", "table4", "headline"}
+
+// RunExperiment regenerates one of the paper's evaluation artifacts and
+// returns its table(s). Valid ids are listed in ExperimentIDs; DESIGN.md
+// §5 maps each to its paper figure/table and reference result.
+func RunExperiment(id string, opts ExperimentOptions) ([]*ExperimentTable, error) {
+	opts.defaults()
+	sc := experiments.Scale(opts.Scale)
+	switch id {
+	case "fig8":
+		_, t, err := experiments.Fig8(opts.Cores, sc)
+		return []*ExperimentTable{t}, err
+	case "fig9":
+		_, t, err := experiments.Fig9(opts.Cores, opts.Horizon)
+		return []*ExperimentTable{t}, err
+	case "fig10":
+		_, t, err := experiments.Fig10(opts.Cores, opts.Horizon)
+		return []*ExperimentTable{t}, err
+	case "fig11":
+		_, t, err := experiments.Fig11(opts.Cores, sc)
+		return []*ExperimentTable{t}, err
+	case "fig12":
+		_, t, err := experiments.Fig12(sc, opts.Horizon, opts.CoreCounts)
+		return []*ExperimentTable{t}, err
+	case "table4":
+		t, err := experiments.Table4(opts.Cores, sc, opts.Horizon)
+		return []*ExperimentTable{t}, err
+	case "headline":
+		_, t, err := experiments.Headline(opts.Cores, sc, opts.Horizon)
+		return []*ExperimentTable{t}, err
+	case "all":
+		var out []*ExperimentTable
+		for _, one := range ExperimentIDs {
+			ts, err := RunExperiment(one, opts)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, ts...)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("asymfence: unknown experiment %q (valid: %v, or \"all\")", id, ExperimentIDs)
+}

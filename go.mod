@@ -1,0 +1,3 @@
+module asymfence
+
+go 1.22

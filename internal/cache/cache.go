@@ -1,0 +1,184 @@
+// Package cache models the on-chip caches: per-core private L1s and the
+// banked shared L2, with MESI line states and LRU replacement (Table 2 of
+// the paper). Caches here track timing/coherence state only; word values
+// live in the functional store (see mem and DESIGN.md §3).
+package cache
+
+import (
+	"asymfence/internal/mem"
+)
+
+// State is a MESI cache line state.
+type State uint8
+
+// MESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the one-letter MESI name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+type way struct {
+	line  mem.Line
+	state State
+	lru   uint64 // last-touch stamp; larger = more recent
+}
+
+// Cache is a set-associative, write-back cache with LRU replacement.
+type Cache struct {
+	sets    [][]way
+	numSets int
+	assoc   int
+	stamp   uint64
+
+	// Statistics.
+	Hits, Misses, Evictions, DirtyEvictions uint64
+}
+
+// New builds a cache of sizeBytes with the given associativity over
+// mem.LineSize lines. sizeBytes must divide evenly into sets.
+func New(sizeBytes, assoc int) *Cache {
+	lines := sizeBytes / mem.LineSize
+	numSets := lines / assoc
+	if numSets == 0 || lines%assoc != 0 {
+		panic("cache: bad geometry")
+	}
+	c := &Cache{numSets: numSets, assoc: assoc}
+	c.sets = make([][]way, numSets)
+	backing := make([]way, numSets*assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*assoc : (i+1)*assoc]
+	}
+	return c
+}
+
+func (c *Cache) setIndex(l mem.Line) int {
+	return int(uint32(l)/mem.LineSize) % c.numSets
+}
+
+func (c *Cache) find(l mem.Line) *way {
+	set := c.sets[c.setIndex(l)]
+	for i := range set {
+		if set[i].state != Invalid && set[i].line == l {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Lookup returns the line's state, touching LRU on hit. It counts a hit or
+// miss, so use Peek for non-access inspection.
+func (c *Cache) Lookup(l mem.Line) (State, bool) {
+	if w := c.find(l); w != nil {
+		c.stamp++
+		w.lru = c.stamp
+		c.Hits++
+		return w.state, true
+	}
+	c.Misses++
+	return Invalid, false
+}
+
+// Peek returns the line's state without touching LRU or hit/miss counters.
+func (c *Cache) Peek(l mem.Line) (State, bool) {
+	if w := c.find(l); w != nil {
+		return w.state, true
+	}
+	return Invalid, false
+}
+
+// Eviction describes the victim displaced by an Install.
+type Eviction struct {
+	Line  mem.Line
+	Dirty bool // the victim was in Modified state (needs writeback)
+}
+
+// Install places line l in state s, evicting the LRU way of its set if
+// needed. It returns the eviction, if any. Installing over an existing
+// copy of l just updates its state.
+func (c *Cache) Install(l mem.Line, s State) (Eviction, bool) {
+	if s == Invalid {
+		panic("cache: installing Invalid")
+	}
+	c.stamp++
+	if w := c.find(l); w != nil {
+		w.state = s
+		w.lru = c.stamp
+		return Eviction{}, false
+	}
+	set := c.sets[c.setIndex(l)]
+	victim := &set[0]
+	for i := range set {
+		if set[i].state == Invalid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	var ev Eviction
+	evicted := victim.state != Invalid
+	if evicted {
+		c.Evictions++
+		ev = Eviction{Line: victim.line, Dirty: victim.state == Modified}
+		if ev.Dirty {
+			c.DirtyEvictions++
+		}
+	}
+	victim.line = l
+	victim.state = s
+	victim.lru = c.stamp
+	return ev, evicted
+}
+
+// SetState changes the state of a resident line (e.g. E->M silent upgrade,
+// M->S downgrade). It is a no-op if the line is absent.
+func (c *Cache) SetState(l mem.Line, s State) {
+	if w := c.find(l); w != nil {
+		if s == Invalid {
+			w.state = Invalid
+			return
+		}
+		w.state = s
+	}
+}
+
+// Invalidate removes the line, returning whether it was present and dirty.
+func (c *Cache) Invalidate(l mem.Line) (wasPresent, wasDirty bool) {
+	if w := c.find(l); w != nil {
+		wasPresent = true
+		wasDirty = w.state == Modified
+		w.state = Invalid
+	}
+	return
+}
+
+// Occupied returns the number of valid lines (used by tests).
+func (c *Cache) Occupied() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].state != Invalid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,125 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asymfence/internal/mem"
+)
+
+func line(i int) mem.Line { return mem.Line(i * mem.LineSize) }
+
+func TestHitMiss(t *testing.T) {
+	c := New(1024, 4) // 32 lines, 8 sets
+	if st, ok := c.Lookup(line(1)); ok || st != Invalid {
+		t.Fatal("empty cache hit")
+	}
+	c.Install(line(1), Shared)
+	if st, ok := c.Lookup(line(1)); !ok || st != Shared {
+		t.Fatal("installed line missing")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hit/miss accounting: %d/%d", c.Hits, c.Misses)
+	}
+}
+
+func TestStateTransitions(t *testing.T) {
+	c := New(1024, 4)
+	c.Install(line(2), Exclusive)
+	c.SetState(line(2), Modified)
+	if st, _ := c.Peek(line(2)); st != Modified {
+		t.Fatal("E->M upgrade lost")
+	}
+	c.SetState(line(2), Shared)
+	if st, _ := c.Peek(line(2)); st != Shared {
+		t.Fatal("M->S downgrade lost")
+	}
+	present, dirty := c.Invalidate(line(2))
+	if !present || dirty {
+		t.Fatalf("invalidate: present=%v dirty=%v", present, dirty)
+	}
+	if _, ok := c.Peek(line(2)); ok {
+		t.Fatal("line survived invalidation")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := New(4*mem.LineSize, 2) // 2 sets x 2 ways
+	// Fill one set: lines 0, 2, 4 map to set 0 (stride 2 with 2 sets).
+	c.Install(line(0), Modified)
+	c.Install(line(2), Shared)
+	ev, evicted := c.Install(line(4), Shared)
+	if !evicted {
+		t.Fatal("no eviction from a full set")
+	}
+	if ev.Line != line(0) || !ev.Dirty {
+		t.Fatalf("evicted %#x dirty=%v; want LRU line 0 dirty", uint32(ev.Line), ev.Dirty)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	c := New(4*mem.LineSize, 2)
+	c.Install(line(0), Shared)
+	c.Install(line(2), Shared)
+	c.Lookup(line(0)) // touch 0: now 2 is LRU
+	ev, evicted := c.Install(line(4), Shared)
+	if !evicted || ev.Line != line(2) {
+		t.Fatalf("evicted %#x, want line 2 (LRU)", uint32(ev.Line))
+	}
+}
+
+func TestReinstallUpdatesState(t *testing.T) {
+	c := New(1024, 4)
+	c.Install(line(3), Shared)
+	_, evicted := c.Install(line(3), Modified)
+	if evicted {
+		t.Fatal("reinstall evicted something")
+	}
+	if st, _ := c.Peek(line(3)); st != Modified {
+		t.Fatal("reinstall did not update state")
+	}
+	if c.Occupied() != 1 {
+		t.Fatalf("occupancy %d, want 1", c.Occupied())
+	}
+}
+
+// Property: a line just installed is always findable until something in
+// its set evicts it, and occupancy never exceeds capacity.
+func TestCacheInvariantsQuick(t *testing.T) {
+	c := New(2048, 4) // 64 lines
+	capLines := 64
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			l := line(int(op) % 512)
+			switch op % 3 {
+			case 0:
+				c.Install(l, Shared)
+				if _, ok := c.Peek(l); !ok {
+					return false
+				}
+			case 1:
+				c.Lookup(l)
+			case 2:
+				c.Invalidate(l)
+				if _, ok := c.Peek(l); ok {
+					return false
+				}
+			}
+			if c.Occupied() > capLines {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M"} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q", st, st.String())
+		}
+	}
+}

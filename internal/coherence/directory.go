@@ -1,0 +1,576 @@
+package coherence
+
+import (
+	"container/heap"
+	"fmt"
+
+	"asymfence/internal/cache"
+	"asymfence/internal/mem"
+	"asymfence/internal/noc"
+)
+
+// Default storage latencies (Table 2): the local L2 bank round trip and
+// the off-chip memory round trip. Mesh hop latency is added on top by the
+// NoC model.
+const (
+	DefaultL2Latency  = 11
+	DefaultMemLatency = 200
+)
+
+// ToDirectory reports whether a message type is addressed to the home
+// directory module (as opposed to a core's cache controller). Cores and
+// their co-located L2 bank/directory share a mesh node, so delivery is
+// demultiplexed by message type.
+func ToDirectory(t MsgType) bool {
+	switch t {
+	case GetS, GetM, PutM, InvAck, InvNack, InvAckKeep, DowngradeAck,
+		WeeDeposit, WeeRemove, CFRegister, CFQuery, CFDeregister:
+		return true
+	}
+	return false
+}
+
+type txnKind uint8
+
+const (
+	txnGetS txnKind = iota
+	txnGetM
+)
+
+type txn struct {
+	kind        txnKind
+	req         int
+	reqID       uint64
+	line        mem.Line
+	order       bool
+	wordMask    uint8
+	pendingAcks int
+	nacked      bool   // at least one plain InvNack (write bounced)
+	trueShare   bool   // at least one true-sharing InvAckKeep (CO fails)
+	keepSharers uint64 // responders the directory must keep as sharers
+}
+
+type dirLine struct {
+	sharers uint64 // bitmask of cores the directory will invalidate on writes
+	owner   int    // core holding the line E/M; -1 if none
+	busy    *txn
+	queue   []Msg // requests deferred while the line is busy
+}
+
+type timer struct {
+	cycle int64
+	seq   uint64
+	fn    func(now int64)
+}
+
+type timerHeap []timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timer)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// DirStats counts directory-side protocol events.
+type DirStats struct {
+	GetSReqs, GetMReqs, Writebacks uint64
+	BouncedWrites                  uint64 // plain GetM transactions nacked off a Bypass Set
+	OrderOps                       uint64 // completed Order transactions
+	CondOrderFails, CondOrderOks   uint64 // Conditional Order outcomes
+	MemFetches, L2Hits             uint64
+	GRTDeposits, GRTRemovals       uint64
+}
+
+// GRT is the Global Reorder Table: the per-core pending sets of the
+// currently-executing WeeFences. Physically it is distributed across the
+// directory modules; we model its *idealized* semantics — a deposit
+// returns a consistent union of the other cores' pending sets. The paper's
+// point is that building this consistent view out of distributed state is
+// the hard, unsolved part (§2.3); WeeFence sidesteps it by demoting any
+// fence whose pending set spans more than one module to a conventional
+// fence, which the requester side implements (see cpu.retireWeeFence).
+type GRT struct {
+	ps  [64][]mem.Line
+	ids [64]uint64
+}
+
+// NewGRT returns an empty table.
+func NewGRT() *GRT { return &GRT{} }
+
+// Deposit registers core's pending set under the fence's id and returns
+// the union of every other core's registered pending set (the depositor's
+// Remote PS).
+func (g *GRT) Deposit(core int, id uint64, ps []mem.Line) []mem.Line {
+	g.ps[core] = append(g.ps[core][:0], ps...)
+	g.ids[core] = id
+	var remote []mem.Line
+	for c := range g.ps {
+		if c != core {
+			remote = append(remote, g.ps[c]...)
+		}
+	}
+	return remote
+}
+
+// Remove clears core's entry, but only if it still belongs to the given
+// fence: a completion message from an older fence must not clobber a
+// younger fence's deposit that overtook it.
+func (g *GRT) Remove(core int, id uint64) {
+	if g.ids[core] == id {
+		g.ps[core] = g.ps[core][:0]
+	}
+}
+
+// Entry returns core's registered pending set (test hook).
+func (g *GRT) Entry(core int) []mem.Line { return g.ps[core] }
+
+// CFTable is the Conditional Fence baseline's centralized associate
+// table (paper §8): it tracks the currently-executing fences per
+// associate group. Physically it lives at node 0 — every consultation
+// pays the mesh round trip to it, the centralization cost the paper
+// criticizes.
+type CFTable struct {
+	active map[int32][]CFEntry
+}
+
+// NewCFTable returns an empty table.
+func NewCFTable() *CFTable { return &CFTable{active: map[int32][]CFEntry{}} }
+
+// Register records an executing fence and returns a snapshot of the
+// other fences already executing in its associate group. The registrant
+// is free if the snapshot is empty; otherwise it must stall until every
+// snapshotted fence deregisters.
+func (t *CFTable) Register(group int32, e CFEntry) []CFEntry {
+	snap := append([]CFEntry(nil), t.active[group]...)
+	t.active[group] = append(t.active[group], e)
+	return snap
+}
+
+// Deregister removes a completed fence.
+func (t *CFTable) Deregister(group int32, e CFEntry) {
+	list := t.active[group]
+	for i, x := range list {
+		if x == e {
+			t.active[group] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// AnyActive reports whether any fence of the snapshot is still executing.
+func (t *CFTable) AnyActive(group int32, snap []CFEntry) bool {
+	for _, e := range snap {
+		for _, x := range t.active[group] {
+			if x == e {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Directory is one home module: the directory slice plus the co-located
+// shared-L2 bank, the memory access path, and (for WeeFence) access to the
+// Global Reorder Table.
+type Directory struct {
+	bank   int
+	nbanks int
+	mesh   *noc.Mesh
+	l2     *cache.Cache
+	grt    *GRT
+	cft    *CFTable
+
+	l2Lat, memLat int64
+
+	lines    map[mem.Line]*dirLine
+	timers   timerHeap
+	timerSeq uint64
+
+	Stats DirStats
+}
+
+// NewDirectory builds the home module for the given bank node.
+// l2BytesPerBank is the bank's L2 capacity (Table 2: 128 KB, 8-way).
+// All modules of one machine share the same GRT instance; the C-Fence
+// associate table is only consulted at node 0 (it is centralized).
+func NewDirectory(bank, nbanks int, mesh *noc.Mesh, l2BytesPerBank int, grt *GRT) *Directory {
+	return &Directory{
+		bank:   bank,
+		nbanks: nbanks,
+		mesh:   mesh,
+		l2:     cache.New(l2BytesPerBank, 8),
+		grt:    grt,
+		cft:    NewCFTable(),
+		l2Lat:  DefaultL2Latency,
+		memLat: DefaultMemLatency,
+		lines:  make(map[mem.Line]*dirLine),
+	}
+}
+
+func (d *Directory) entry(l mem.Line) *dirLine {
+	dl, ok := d.lines[l]
+	if !ok {
+		dl = &dirLine{owner: -1}
+		d.lines[l] = dl
+	}
+	return dl
+}
+
+func (d *Directory) at(now, delay int64, fn func(now int64)) {
+	d.timerSeq++
+	heap.Push(&d.timers, timer{cycle: now + delay, seq: d.timerSeq, fn: fn})
+}
+
+func (d *Directory) send(now int64, dst int, m Msg, cat noc.Category) {
+	if m.Retry {
+		cat = noc.CatRetry
+	}
+	d.mesh.Send(now, noc.Packet{Src: d.bank, Dst: dst, Size: m.Size(), Cat: cat, Payload: m})
+}
+
+// Step fires any due internal timers (storage latencies etc).
+func (d *Directory) Step(now int64) {
+	for d.timers.Len() > 0 && d.timers[0].cycle <= now {
+		t := heap.Pop(&d.timers).(timer)
+		t.fn(now)
+	}
+}
+
+// Pending reports whether the module has in-flight work (used by the
+// simulator's quiesce detection).
+func (d *Directory) Pending() bool {
+	if d.timers.Len() > 0 {
+		return true
+	}
+	for _, dl := range d.lines {
+		if dl.busy != nil || len(dl.queue) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Handle processes one incoming message.
+func (d *Directory) Handle(now int64, m Msg) {
+	switch m.Type {
+	case WeeRemove, WeeDeposit, CFRegister, CFQuery, CFDeregister:
+		// Fence-management messages are not line-homed.
+	default:
+		if mem.HomeBank(m.Line, d.nbanks) != d.bank {
+			panic(fmt.Sprintf("coherence: line %#x routed to wrong bank %d", uint32(m.Line), d.bank))
+		}
+	}
+
+	switch m.Type {
+	case GetS, GetM:
+		d.handleRequest(now, m)
+	case PutM:
+		d.handlePutM(now, m)
+	case InvAck, InvNack, InvAckKeep:
+		d.handleInvResp(now, m)
+	case DowngradeAck:
+		d.handleDowngradeAck(now, m)
+	case WeeDeposit:
+		d.handleWeeDeposit(now, m)
+	case WeeRemove:
+		d.Stats.GRTRemovals++
+		d.grt.Remove(m.Core, m.ReqID)
+	case CFRegister:
+		snap := d.cft.Register(m.Group, CFEntry{Core: m.Core, ID: m.ReqID})
+		d.send(now, m.Core, Msg{Type: CFRegisterAck, Core: m.Core, ReqID: m.ReqID,
+			Group: m.Group, CFSnapshot: snap}, noc.CatFence)
+	case CFQuery:
+		d.send(now, m.Core, Msg{Type: CFQueryAck, Core: m.Core, ReqID: m.ReqID,
+			Group: m.Group, TrueShare: d.cft.AnyActive(m.Group, m.CFSnapshot)}, noc.CatFence)
+	case CFDeregister:
+		d.cft.Deregister(m.Group, CFEntry{Core: m.Core, ID: m.ReqID})
+	default:
+		panic("coherence: directory got " + m.Type.String())
+	}
+}
+
+func (d *Directory) handleRequest(now int64, m Msg) {
+	dl := d.entry(m.Line)
+	if dl.busy != nil {
+		dl.queue = append(dl.queue, m)
+		return
+	}
+	switch m.Type {
+	case GetS:
+		d.startGetS(now, dl, m)
+	case GetM:
+		d.startGetM(now, dl, m)
+	}
+}
+
+// l2Line converts a global line to its bank-local index for L2 set
+// indexing. Lines are interleaved across banks by their low index bits, so
+// indexing the bank's sets with the global line number would leave
+// 1/nbanks of each bank's sets usable; dividing out the interleaving
+// spreads a bank's resident lines over all its sets.
+func (d *Directory) l2Line(l mem.Line) mem.Line {
+	idx := uint32(l) / mem.LineSize
+	return mem.Line((idx / uint32(d.nbanks)) * mem.LineSize)
+}
+
+// storageLatency models where the data comes from when no core must be
+// consulted: the local L2 bank or off-chip memory. A memory fetch installs
+// the line in the bank (L2 victims are silently absorbed by memory — they
+// carry no directory state).
+func (d *Directory) storageLatency(l mem.Line) int64 {
+	if _, hit := d.l2.Lookup(d.l2Line(l)); hit {
+		d.Stats.L2Hits++
+		return d.l2Lat
+	}
+	d.Stats.MemFetches++
+	if DebugMemFetch != nil {
+		DebugMemFetch(uint32(l))
+	}
+	d.l2.Install(d.l2Line(l), cache.Shared)
+	return d.memLat + d.l2Lat
+}
+
+// DebugMemFetch, when set, observes every off-chip fetch (test hook).
+var DebugMemFetch func(line uint32)
+
+func (d *Directory) startGetS(now int64, dl *dirLine, m Msg) {
+	d.Stats.GetSReqs++
+	if dl.owner >= 0 && dl.owner != m.Core {
+		t := &txn{kind: txnGetS, req: m.Core, reqID: m.ReqID, line: m.Line, pendingAcks: 1}
+		dl.busy = t
+		d.send(now, dl.owner, Msg{Type: DowngradeReq, Line: m.Line, Core: m.Core, ReqID: m.ReqID}, noc.CatProtocol)
+		return
+	}
+	// Data comes from this bank (or memory). Exclusive grant when nobody
+	// else has the line.
+	t := &txn{kind: txnGetS, req: m.Core, reqID: m.ReqID, line: m.Line}
+	dl.busy = t
+	lat := d.storageLatency(m.Line)
+	d.at(now, lat, func(now int64) {
+		if dl.sharers == 0 && dl.owner < 0 {
+			dl.owner = m.Core
+			d.send(now, m.Core, Msg{Type: GrantE, Line: m.Line, Core: m.Core, ReqID: m.ReqID}, noc.CatProtocol)
+		} else {
+			dl.sharers |= 1 << uint(m.Core)
+			d.send(now, m.Core, Msg{Type: GrantS, Line: m.Line, Core: m.Core, ReqID: m.ReqID}, noc.CatProtocol)
+		}
+		d.finish(now, dl)
+	})
+}
+
+func (d *Directory) startGetM(now int64, dl *dirLine, m Msg) {
+	d.Stats.GetMReqs++
+	t := &txn{
+		kind: txnGetM, req: m.Core, reqID: m.ReqID, line: m.Line,
+		order: m.Order, wordMask: m.WordMask,
+	}
+	inv := Msg{Type: InvReq, Line: m.Line, Core: m.Core, ReqID: m.ReqID, Order: m.Order, WordMask: m.WordMask}
+
+	switch {
+	case dl.owner == m.Core:
+		// Defensive: requester already owns the line (e.g. a retry racing
+		// a silent upgrade). Grant immediately.
+		dl.busy = t
+		d.send(now, m.Core, Msg{Type: GrantM, Line: m.Line, Core: m.Core, ReqID: m.ReqID}, noc.CatProtocol)
+		d.finish(now, dl)
+	case dl.owner >= 0:
+		dl.busy = t
+		t.pendingAcks = 1
+		d.send(now, dl.owner, inv, noc.CatProtocol)
+	case dl.sharers&^(1<<uint(m.Core)) != 0:
+		dl.busy = t
+		others := dl.sharers &^ (1 << uint(m.Core))
+		for c := 0; others != 0; c++ {
+			if others&(1<<uint(c)) != 0 {
+				others &^= 1 << uint(c)
+				t.pendingAcks++
+				d.send(now, c, inv, noc.CatProtocol)
+			}
+		}
+	default:
+		// Requester is the only sharer, or nobody has it: fetch data if
+		// the requester doesn't already hold it, then grant M.
+		dl.busy = t
+		var lat int64 = 1
+		if dl.sharers&(1<<uint(m.Core)) == 0 {
+			lat = d.storageLatency(m.Line)
+		}
+		d.at(now, lat, func(now int64) { d.completeGetM(now, dl, t) })
+	}
+}
+
+func (d *Directory) handleInvResp(now int64, m Msg) {
+	dl := d.entry(m.Line)
+	t := dl.busy
+	if t == nil || t.reqID != m.ReqID {
+		// Stale response from an older transaction; drop.
+		return
+	}
+	switch m.Type {
+	case InvAck:
+		dl.sharers &^= 1 << uint(m.Core)
+		if dl.owner == m.Core {
+			dl.owner = -1
+			if m.Dirty {
+				d.l2.Install(d.l2Line(m.Line), cache.Shared)
+			}
+		}
+	case InvNack:
+		// Bounced off a Bypass Set: the sharer keeps its copy and its
+		// directory entry.
+		t.nacked = true
+	case InvAckKeep:
+		// O-bit invalidation: copy invalidated, but keep as sharer so its
+		// Bypass Set keeps seeing writes to the line.
+		if dl.owner == m.Core {
+			dl.owner = -1
+			if m.Dirty {
+				d.l2.Install(d.l2Line(m.Line), cache.Shared)
+			}
+			// The former owner becomes a (non-holding) sharer.
+			dl.sharers |= 1 << uint(m.Core)
+		}
+		t.keepSharers |= 1 << uint(m.Core)
+		if m.TrueShare {
+			t.trueShare = true
+		}
+	}
+	t.pendingAcks--
+	if t.pendingAcks == 0 {
+		d.completeGetM(now, dl, t)
+	}
+}
+
+func (d *Directory) completeGetM(now int64, dl *dirLine, t *txn) {
+	req := t.req
+	switch {
+	case t.nacked:
+		// The write transaction bounced (paper Fig. 2b / §3.2). Sharers
+		// that acked are already removed; bouncers remain. The requester
+		// must retry.
+		d.Stats.BouncedWrites++
+		d.send(now, req, Msg{Type: NackRetry, Line: t.line, Core: req, ReqID: t.reqID}, noc.CatProtocol)
+	case t.order && t.wordMask != 0 && t.trueShare:
+		// Conditional Order with at least one true-sharer: the CO fails
+		// and bounces back; the update is discarded; BS matchers stay
+		// sharers (paper §3.3.2).
+		d.Stats.CondOrderFails++
+		dl.sharers |= t.keepSharers
+		d.send(now, req, Msg{Type: NackRetry, Line: t.line, Core: req, ReqID: t.reqID}, noc.CatProtocol)
+	case t.order:
+		// Order operation (or CO with only false sharers): the update
+		// merges, BS matchers remain sharers, and the requester ends up
+		// with the line in Shared state (paper §3.3.1).
+		if t.wordMask != 0 {
+			d.Stats.CondOrderOks++
+		}
+		d.Stats.OrderOps++
+		dl.sharers |= t.keepSharers
+		dl.sharers |= 1 << uint(req)
+		dl.owner = -1
+		d.l2.Install(d.l2Line(t.line), cache.Shared)
+		d.send(now, req, Msg{Type: GrantOrder, Line: t.line, Core: req, ReqID: t.reqID}, noc.CatProtocol)
+	default:
+		dl.sharers = 0
+		dl.owner = req
+		d.send(now, req, Msg{Type: GrantM, Line: t.line, Core: req, ReqID: t.reqID}, noc.CatProtocol)
+	}
+	d.finish(now, dl)
+}
+
+func (d *Directory) handleDowngradeAck(now int64, m Msg) {
+	dl := d.entry(m.Line)
+	t := dl.busy
+	if t == nil || t.reqID != m.ReqID {
+		return
+	}
+	// Owner downgraded to Shared; its data (if dirty) is home now.
+	if m.Dirty {
+		d.l2.Install(d.l2Line(m.Line), cache.Shared)
+	}
+	old := dl.owner
+	dl.owner = -1
+	if old >= 0 {
+		dl.sharers |= 1 << uint(old)
+	}
+	dl.sharers |= 1 << uint(t.req)
+	d.send(now, t.req, Msg{Type: GrantS, Line: m.Line, Core: t.req, ReqID: t.reqID}, noc.CatProtocol)
+	d.finish(now, dl)
+}
+
+func (d *Directory) handlePutM(now int64, m Msg) {
+	dl := d.entry(m.Line)
+	if dl.busy != nil {
+		dl.queue = append(dl.queue, m)
+		return
+	}
+	d.Stats.Writebacks++
+	if dl.owner == m.Core {
+		dl.owner = -1
+		d.l2.Install(d.l2Line(m.Line), cache.Shared)
+	}
+	// Keep-as-sharer writeback (paper §5.1): a dirty line whose address is
+	// in the evictor's Bypass Set is written back, but the evictor remains
+	// a sharer so it keeps seeing (and can keep bouncing) writes to it.
+	if m.KeepSharer {
+		dl.sharers |= 1 << uint(m.Core)
+	}
+}
+
+func (d *Directory) handleWeeDeposit(now int64, m Msg) {
+	d.Stats.GRTDeposits++
+	remote := d.grt.Deposit(m.Core, m.ReqID, m.PS)
+	d.send(now, m.Core, Msg{Type: WeeDepositAck, Core: m.Core, ReqID: m.ReqID, PS: remote}, noc.CatFence)
+}
+
+// finish retires the busy transaction and admits the next queued request
+// for the line.
+func (d *Directory) finish(now int64, dl *dirLine) {
+	dl.busy = nil
+	if len(dl.queue) == 0 {
+		return
+	}
+	next := dl.queue[0]
+	dl.queue = dl.queue[1:]
+	switch next.Type {
+	case GetS:
+		d.startGetS(now, dl, next)
+	case GetM:
+		d.startGetM(now, dl, next)
+	case PutM:
+		d.handlePutM(now, next)
+		// PutM completes immediately; keep draining the queue.
+		d.finish(now, dl)
+	}
+}
+
+// Preload installs a line in this bank's L2 before simulation starts,
+// modeling data that is warm mid-run (workload working sets that a real
+// execution would have touched long before the measured region).
+func (d *Directory) Preload(l mem.Line) {
+	d.l2.Install(d.l2Line(l), cache.Shared)
+}
+
+// SharersOf returns the current sharer bitmask and owner of a line
+// (test/debug hook).
+func (d *Directory) SharersOf(l mem.Line) (sharers uint64, owner int) {
+	dl, ok := d.lines[l]
+	if !ok {
+		return 0, -1
+	}
+	return dl.sharers, dl.owner
+}
+
+// GRTEntry returns the registered pending set for a core (test hook).
+func (d *Directory) GRTEntry(core int) []mem.Line { return d.grt.Entry(core) }

@@ -1,0 +1,394 @@
+// Package cpu models the out-of-order cores of the simulated multicore
+// (Table 2: 4-issue, 140-entry ROB, 64-entry write buffer, TSO) together
+// with the requester/sharer side of the coherence protocol and the five
+// fence designs of the paper (S+, WS+, SW+, W+, Wee).
+//
+// Execution is functional+timing combined: instructions are fetched in
+// program order (with perfect branch prediction — fetch stalls only when a
+// branch operand depends on an unperformed load), execute when their
+// dataflow operands are ready, and retire in order up to four per cycle.
+// Loads may perform speculatively deep in the ROB; under the weak-fence
+// designs, post-fence loads may also *retire and complete* before the
+// fence completes, entering the Bypass Set.
+package cpu
+
+import (
+	"asymfence/internal/cache"
+	"asymfence/internal/coherence"
+	"asymfence/internal/fence"
+	"asymfence/internal/isa"
+	"asymfence/internal/mem"
+	"asymfence/internal/noc"
+	"asymfence/internal/stats"
+)
+
+// Config holds one core's microarchitectural parameters. Zero values are
+// replaced by the paper's Table 2 defaults.
+type Config struct {
+	ID     int
+	NCores int
+	Design fence.Design
+
+	ROBSize      int   // reorder buffer entries (default 140)
+	WBSize       int   // write buffer entries (default 64)
+	FetchWidth   int   // instructions fetched per cycle (default 4)
+	RetireWidth  int   // instructions retired per cycle (default 4)
+	L1Bytes      int   // private L1 size (default 32 KB)
+	L1Assoc      int   // L1 associativity (default 4)
+	L1HitLatency int64 // L1 round trip (default 2)
+	MSHRs        int   // outstanding load misses (default 8)
+
+	BSCapacity int  // Bypass Set entries (default 32)
+	BSBloom    bool // Bloom-filter front end on the BS
+
+	// WPlusTimeout is the deadlock-suspicion timeout of the W+ design:
+	// cycles of simultaneous bouncing/being-bounced before rollback.
+	WPlusTimeout int64
+	// RetryBackoff is the delay before re-issuing a nacked write.
+	RetryBackoff int64
+
+	// Privacy classifies addresses as private or shared for WeeFence's
+	// Private Access Filtering (see mem.Privacy). Nil means everything is
+	// treated as shared.
+	Privacy *mem.Privacy
+}
+
+func (c *Config) applyDefaults() {
+	if c.ROBSize == 0 {
+		c.ROBSize = 140
+	}
+	if c.WBSize == 0 {
+		c.WBSize = 64
+	}
+	if c.FetchWidth == 0 {
+		c.FetchWidth = 4
+	}
+	if c.RetireWidth == 0 {
+		c.RetireWidth = 4
+	}
+	if c.L1Bytes == 0 {
+		c.L1Bytes = 32 * 1024
+	}
+	if c.L1Assoc == 0 {
+		c.L1Assoc = 4
+	}
+	if c.L1HitLatency == 0 {
+		c.L1HitLatency = 2
+	}
+	if c.MSHRs == 0 {
+		c.MSHRs = 8
+	}
+	if c.BSCapacity == 0 {
+		c.BSCapacity = fence.DefaultBSCapacity
+	}
+	if c.WPlusTimeout == 0 {
+		// Long enough that ordinary transient bouncing (which resolves as
+		// soon as the remote fence completes, typically well under 100
+		// cycles) rarely trips a rollback, short enough that a genuine
+		// deadlock is broken quickly.
+		c.WPlusTimeout = 150
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 10
+	}
+}
+
+// operand is a captured instruction input: either a known value with its
+// dataflow-ready time, or a reference to the producing ROB entry.
+type operand struct {
+	known bool
+	val   uint32
+	ready int64
+	prod  *robEntry
+}
+
+// regVal is the fetch-side architectural register state, maintained in
+// program order. When a register's latest writer is an unperformed load,
+// prod points at it.
+type regVal struct {
+	known bool
+	val   uint32
+	ready int64
+	prod  *robEntry
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	in  isa.Instr
+	pc  int
+	seq uint64
+
+	s1, s2 operand
+
+	// Value/timing resolution. resolved means the result value (if any)
+	// and ready time are final.
+	resolved bool
+	val      uint32
+	ready    int64
+
+	// Memory state.
+	addr      mem.Addr
+	addrOK    bool
+	addrReady int64
+	issued    bool
+	performed bool
+	forwarded bool // value came from store-to-load forwarding
+
+	// Store data (St, Xchg).
+	dataOK    bool
+	dataVal   uint32
+	dataReady int64
+
+	squashed bool
+
+	// Branch prediction state: predicted is set when the branch was
+	// fetched with unresolved operands; mispredict/actualTaken record the
+	// verification outcome.
+	predicted   bool
+	predTaken   bool
+	mispredict  bool
+	actualTaken bool
+
+	// slots is how many ROB entries this instruction occupies: 1, except
+	// Work instructions, which stand for their cycle count's worth of
+	// instructions (capped), so the reorder window runs ahead of a
+	// blocked fence by a realistic amount.
+	slots int
+
+	// WeeFence handshake state (WFence entries under the Wee design).
+	weeChecked bool
+	weeDemoted bool
+
+	// prevWork restores workUnitFree when a Work entry is squashed.
+	prevWork int64
+}
+
+func (e *robEntry) line() mem.Line { return mem.LineOf(e.addr) }
+
+// activeFence is a retired-but-incomplete weak fence.
+type activeFence struct {
+	seq     uint64 // the fence instruction's sequence number
+	pcAfter int    // resume point for W+ rollback
+	// undoMark is the undo-log length at the fence (W+ checkpoint).
+	undoMark int
+	// Wee state.
+	module   int        // module the PS (and BS) must confine to; -1 if not yet pinned
+	remotePS []mem.Line // combined pending sets of other active fences
+	wee      bool
+	weeID    uint64 // GRT deposit id (the fence's deposit ReqID)
+	// C-Fence state: a free Conditional Fence stays registered in the
+	// centralized associate table until it completes.
+	cf      bool
+	cfGroup int32
+	// demoted: a post-fence access homed outside the fence's module, so
+	// the fence could not confine its PS and BS to one directory module
+	// and turned into a conventional fence (paper §6): subsequent
+	// post-fence loads stall until it completes.
+	demoted bool
+}
+
+// wbEntry is a retired store waiting to merge with the memory system.
+type wbEntry struct {
+	addr mem.Addr
+	val  uint32
+	seq  uint64
+}
+
+type undoRec struct {
+	seq  uint64
+	reg  isa.Reg
+	prev regVal
+}
+
+type statRec struct {
+	seq uint64
+	id  int32
+}
+
+// loadMiss tracks an outstanding GetS and the loads waiting on it.
+type loadMiss struct {
+	line    mem.Line
+	reqID   uint64
+	waiters []*robEntry
+}
+
+// Core is one simulated processor: pipeline front end, ROB, write buffer,
+// private L1, Bypass Set and fence engines.
+type Core struct {
+	cfg   Config
+	prog  *isa.Program
+	mesh  *noc.Mesh
+	store *mem.Store
+	st    *stats.Core
+
+	l1 *cache.Cache
+	bs *fence.BypassSet
+
+	// Fetch-side architectural state.
+	pc       int
+	regs     [isa.NumRegs]regVal
+	fetchEnd bool // Halt fetched; stop fetching
+
+	rob      []*robEntry // FIFO, index 0 = head
+	robSlots int         // occupied ROB entries (Work counts its size)
+	seq      uint64
+	undoLog  []undoRec
+	workFree int64 // execution-unit availability for Work instrs
+
+	// statLog records Stat events retired while weak fences are active,
+	// so a W+ rollback can un-count the ones it replays.
+	statLog []statRec
+
+	// mispredicted is the oldest branch found mispredicted this cycle;
+	// the squash/redirect happens at the next step boundary.
+	mispredicted *robEntry
+
+	wb []wbEntry
+
+	// In-flight store transaction (write-buffer head).
+	wbReqID    uint64
+	wbInFlight bool
+	wbRetryAt  int64
+	wbBounced  bool // current head store has been nacked at least once
+	wbOrder    bool // current request carries the O bit
+
+	// In-flight atomic (Xchg) transaction.
+	atomReqID    uint64
+	atomInFlight bool
+	atomRetryAt  int64
+	atomEntry    *robEntry
+
+	loadMisses map[mem.Line]*loadMiss
+	reqIDc     uint64
+
+	fences []*activeFence // active (retired, incomplete) weak fences
+
+	// Wee per-fence handshake state for the fence at the ROB head.
+	weeDepositSent bool
+	weeDepositAck  bool
+	weeRemote      []mem.Line
+	weeModule      int
+	weeReqID       uint64
+
+	// C-Fence handshake state for the fence at the ROB head.
+	cfState   uint8 // 0 idle, 1 registering, 2 stalled, 3 free
+	cfReqID   uint64
+	cfSnap    []coherence.CFEntry
+	cfCleared bool
+	cfQueryIn bool
+	cfQueryAt int64
+
+	// W+ deadlock detection and recovery.
+	bouncedExternal bool // our BS bounced someone since oldest fence began
+	timeoutArmed    bool
+	timeoutAt       int64
+	draining        bool // post-rollback: wait for WB drain before resuming
+	drainResumePC   int
+
+	finished  bool
+	haltEntry bool
+}
+
+// New builds a core executing prog on the given machine fabric.
+func New(cfg Config, prog *isa.Program, mesh *noc.Mesh, store *mem.Store) *Core {
+	cfg.applyDefaults()
+	c := &Core{
+		cfg:        cfg,
+		prog:       prog,
+		mesh:       mesh,
+		store:      store,
+		st:         stats.NewCore(),
+		l1:         cache.New(cfg.L1Bytes, cfg.L1Assoc),
+		bs:         fence.NewBypassSet(cfg.BSCapacity, cfg.BSBloom),
+		loadMisses: make(map[mem.Line]*loadMiss),
+	}
+	// Architectural registers start as known zeros.
+	for i := range c.regs {
+		c.regs[i].known = true
+	}
+	return c
+}
+
+// Stats returns the core's measurement block.
+func (c *Core) Stats() *stats.Core { return c.st }
+
+// Finished reports whether the thread has halted (program complete, write
+// buffer drained, all fences complete).
+func (c *Core) Finished() bool { return c.finished }
+
+// BypassSet exposes the core's BS (test hook).
+func (c *Core) BypassSet() *fence.BypassSet { return c.bs }
+
+// Reg returns the architectural value of a register once the core has
+// finished (test hook). It panics if the register's value is still
+// unresolved.
+func (c *Core) Reg(r isa.Reg) uint32 {
+	rv := c.regs[r]
+	if rv.prod != nil {
+		if !rv.prod.resolved {
+			panic("cpu: register value unresolved")
+		}
+		return rv.prod.val
+	}
+	return rv.val
+}
+
+func (c *Core) nextReqID() uint64 {
+	c.reqIDc++
+	// Make request ids globally unique across cores for debuggability.
+	return uint64(c.cfg.ID)<<48 | c.reqIDc
+}
+
+func (c *Core) home(l mem.Line) int { return mem.HomeBank(l, c.cfg.NCores) }
+
+func (c *Core) send(now int64, dst int, m coherence.Msg, cat noc.Category) {
+	if m.Retry {
+		cat = noc.CatRetry
+	}
+	c.mesh.Send(now, noc.Packet{Src: c.cfg.ID, Dst: dst, Size: m.Size(), Cat: cat, Payload: m})
+}
+
+// readReg captures the current fetch-side state of register r as an
+// operand, materializing producer results that have resolved since the
+// register was written.
+func (c *Core) readReg(r isa.Reg) operand {
+	if r == isa.R0 {
+		return operand{known: true}
+	}
+	rv := &c.regs[r]
+	if rv.prod != nil && rv.prod.resolved {
+		rv.known = true
+		rv.val = rv.prod.val
+		rv.ready = rv.prod.ready
+		rv.prod = nil
+	}
+	return operand{known: rv.known, val: rv.val, ready: rv.ready, prod: rv.prod}
+}
+
+// writeReg records a fetch-side register write, logging the previous state
+// for squash/rollback undo.
+func (c *Core) writeReg(e *robEntry, r isa.Reg, nv regVal) {
+	if r == isa.R0 {
+		return
+	}
+	prev := c.regs[r]
+	c.undoLog = append(c.undoLog, undoRec{seq: e.seq, reg: r, prev: prev})
+	c.regs[r] = nv
+}
+
+// materialize refreshes an operand whose producer has since resolved.
+func (o *operand) materialize() {
+	if o.prod != nil && o.prod.resolved {
+		o.known = true
+		o.val = o.prod.val
+		o.ready = o.prod.ready
+		o.prod = nil
+	}
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

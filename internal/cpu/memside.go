@@ -1,0 +1,401 @@
+package cpu
+
+import (
+	"asymfence/internal/cache"
+	"asymfence/internal/coherence"
+	"asymfence/internal/fence"
+	"asymfence/internal/mem"
+	"asymfence/internal/noc"
+)
+
+// drainWB advances the TSO write buffer: only the head store's coherence
+// transaction may be in flight at a time ("TSO only allows one write to
+// merge with the memory system at a time").
+func (c *Core) drainWB(now int64) {
+	if len(c.wb) == 0 || c.wbInFlight || now < c.wbRetryAt {
+		return
+	}
+	h := c.wb[0]
+	line := mem.LineOf(h.addr)
+	if st, ok := c.l1.Peek(line); ok && (st == cache.Modified || st == cache.Exclusive) {
+		// Write hit: complete locally.
+		c.l1.SetState(line, cache.Modified)
+		c.store.StoreWord(h.addr, h.val)
+		c.completeHeadStore(now)
+		return
+	}
+	// Need ownership. A previously bounced store may be turned into an
+	// Order (WS+) or Conditional Order (SW+) request once a weak fence
+	// that follows it in program order has executed (paper §3.3.1-.2).
+	order := false
+	var mask uint8
+	if c.wbBounced && c.coveringWF(h.seq) {
+		switch c.cfg.Design {
+		case fence.WSPlus:
+			order = true
+		case fence.SWPlus:
+			order = true
+			mask = mem.WordMaskOf(h.addr)
+		}
+	}
+	c.wbOrder = order
+	c.wbReqID = c.nextReqID()
+	c.wbInFlight = true
+	c.send(now, c.home(line), coherence.Msg{
+		Type: coherence.GetM, Line: line, Core: c.cfg.ID, ReqID: c.wbReqID,
+		Order: order, WordMask: mask, Retry: c.wbBounced,
+	}, noc.CatProtocol)
+}
+
+// coveringWF reports whether an active weak fence follows the store in
+// program order (i.e. the store is a pre-fence access of an executed wf).
+func (c *Core) coveringWF(storeSeq uint64) bool {
+	for _, f := range c.fences {
+		if f.seq > storeSeq {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Core) completeHeadStore(now int64) {
+	c.wb = c.wb[1:]
+	c.wbInFlight = false
+	c.wbBounced = false
+	c.wbOrder = false
+	c.wbRetryAt = 0
+	c.completeFences(now)
+}
+
+// handleStoreGrant processes the response to the write-buffer head's
+// transaction.
+func (c *Core) handleStoreGrant(now int64, m coherence.Msg) {
+	if !c.wbInFlight || m.ReqID != c.wbReqID || len(c.wb) == 0 {
+		return // stale (e.g. dropped by a W+ rollback that kept the store)
+	}
+	h := c.wb[0]
+	switch m.Type {
+	case coherence.GrantM:
+		c.installL1(now, m.Line, cache.Modified)
+		c.store.StoreWord(h.addr, h.val)
+		c.completeHeadStore(now)
+	case coherence.GrantOrder:
+		// Order / successful CO: the update merges but the line stays
+		// Shared locally; BS matchers remain sharers at the directory.
+		c.installL1(now, m.Line, cache.Shared)
+		c.store.StoreWord(h.addr, h.val)
+		if m.ReqID == c.wbReqID {
+			if c.cfg.Design == fence.SWPlus {
+				c.st.CondOrderOps++
+			} else {
+				c.st.OrderOps++
+			}
+		}
+		c.completeHeadStore(now)
+	case coherence.NackRetry:
+		if !c.wbBounced {
+			c.wbBounced = true
+			c.st.BouncedWrites++
+		}
+		c.st.BounceRetries++
+		c.wbInFlight = false
+		c.wbRetryAt = now + c.cfg.RetryBackoff
+	}
+}
+
+func (c *Core) handleAtomGrant(now int64, m coherence.Msg) {
+	if !c.atomInFlight || m.ReqID != c.atomReqID {
+		return
+	}
+	switch m.Type {
+	case coherence.GrantM:
+		c.atomInFlight = false
+		c.installL1(now, m.Line, cache.Modified)
+		if c.atomEntry != nil && !c.atomEntry.squashed {
+			c.performAtomic(now, c.atomEntry)
+		}
+		c.atomEntry = nil
+	case coherence.NackRetry:
+		c.atomInFlight = false
+		c.atomRetryAt = now + c.cfg.RetryBackoff
+	}
+}
+
+// HandleMsg processes one incoming protocol message addressed to this
+// core's cache controller.
+func (c *Core) HandleMsg(now int64, m coherence.Msg) {
+	switch m.Type {
+	case coherence.GrantS, coherence.GrantE:
+		c.handleLoadGrant(now, m)
+	case coherence.GrantM, coherence.GrantOrder, coherence.NackRetry:
+		// Demultiplex between the write-buffer and atomic transactions.
+		if c.wbInFlight && m.ReqID == c.wbReqID {
+			c.handleStoreGrant(now, m)
+		} else {
+			c.handleAtomGrant(now, m)
+		}
+	case coherence.InvReq:
+		c.handleInv(now, m)
+	case coherence.DowngradeReq:
+		c.handleDowngrade(now, m)
+	case coherence.WeeDepositAck:
+		if c.weeDepositSent && m.ReqID == c.weeReqID {
+			c.weeDepositAck = true
+			c.weeRemote = m.PS
+		}
+	case coherence.CFRegisterAck:
+		if c.cfState == 1 && m.ReqID == c.cfReqID {
+			c.cfSnap = m.CFSnapshot
+			c.cfCleared = len(c.cfSnap) == 0
+			c.cfQueryIn = false
+			c.cfQueryAt = now
+			if c.cfCleared {
+				c.cfState = 3 // free
+			} else {
+				c.cfState = 2 // stalled behind the snapshot
+			}
+		}
+	case coherence.CFQueryAck:
+		if c.cfState == 2 && m.ReqID == c.cfReqID {
+			c.cfQueryIn = false
+			if m.TrueShare {
+				c.cfQueryAt = now + 30 // still active: poll again later
+			} else {
+				c.cfCleared = true
+			}
+		}
+	default:
+		panic("cpu: core got " + m.Type.String())
+	}
+}
+
+// handleInv is the Bypass-Set-aware invalidation path (paper §3.2-3.3):
+//
+//   - plain invalidation matching the BS: bounce (InvNack), keep the copy;
+//   - O-bit invalidation: always invalidate, but a BS match makes us ask
+//     to be kept as a sharer, reporting word-level true sharing for CO;
+//   - otherwise: squash conflicting speculative loads, invalidate, ack.
+func (c *Core) handleInv(now int64, m coherence.Msg) {
+	hit, words := false, uint8(0)
+	if c.cfg.Design.UsesBS() {
+		hit, words = c.bs.Match(m.Line)
+	}
+	if hit && !m.Order {
+		c.st.BouncesGiven++
+		if len(c.fences) > 0 {
+			c.bouncedExternal = true
+		}
+		c.send(now, c.home(m.Line), coherence.Msg{
+			Type: coherence.InvNack, Line: m.Line, Core: c.cfg.ID, ReqID: m.ReqID,
+		}, noc.CatProtocol)
+		return
+	}
+	c.squashSpeculativeLoads(m.Line)
+	_, dirty := c.l1.Invalidate(m.Line)
+	if hit {
+		trueShare := m.WordMask != 0 && m.WordMask&words != 0
+		c.send(now, c.home(m.Line), coherence.Msg{
+			Type: coherence.InvAckKeep, Line: m.Line, Core: c.cfg.ID,
+			ReqID: m.ReqID, TrueShare: trueShare, Dirty: dirty,
+		}, noc.CatProtocol)
+		return
+	}
+	c.send(now, c.home(m.Line), coherence.Msg{
+		Type: coherence.InvAck, Line: m.Line, Core: c.cfg.ID, ReqID: m.ReqID,
+		Dirty: dirty,
+	}, noc.CatProtocol)
+}
+
+// handleDowngrade services a read by another core: M -> S with writeback.
+// Bypass Sets never block reads; losing exclusivity does not hurt their
+// ability to observe future writes (paper §5.1).
+func (c *Core) handleDowngrade(now int64, m coherence.Msg) {
+	st, ok := c.l1.Peek(m.Line)
+	dirty := ok && st == cache.Modified
+	if ok {
+		c.l1.SetState(m.Line, cache.Shared)
+	}
+	c.send(now, c.home(m.Line), coherence.Msg{
+		Type: coherence.DowngradeAck, Line: m.Line, Core: c.cfg.ID,
+		ReqID: m.ReqID, Dirty: dirty,
+	}, noc.CatProtocol)
+}
+
+// completeFences retires active weak fences whose pre-fence stores have
+// all merged (the write buffer drained past their watermark). Fences
+// complete oldest first.
+func (c *Core) completeFences(now int64) {
+	for len(c.fences) > 0 {
+		f := c.fences[0]
+		if len(c.wb) > 0 && c.wb[0].seq < f.seq {
+			return // a pre-fence store is still pending
+		}
+		// Sample BS occupancy for Table 4 before dropping the entries.
+		c.st.BSLinesSum += uint64(c.bs.Len())
+		c.st.BSLinesSamples++
+		c.bs.CompleteFence(f.seq)
+		if f.wee {
+			dst := f.module
+			if dst < 0 {
+				dst = c.cfg.ID
+			}
+			c.send(now, dst, coherence.Msg{
+				Type: coherence.WeeRemove, Core: c.cfg.ID, ReqID: f.weeID,
+			}, noc.CatFence)
+		}
+		if f.cf {
+			c.send(now, 0, coherence.Msg{
+				Type: coherence.CFDeregister, Core: c.cfg.ID, ReqID: f.weeID,
+				Group: f.cfGroup,
+			}, noc.CatFence)
+		}
+		c.fences = c.fences[1:]
+	}
+	if len(c.fences) == 0 {
+		c.bouncedExternal = false
+		c.timeoutArmed = false
+		c.statLog = c.statLog[:0]
+		c.pruneUndoLog()
+	}
+}
+
+// pruneUndoLog drops undo records that no squash or checkpoint can need:
+// older than both the oldest ROB entry and the oldest active fence.
+func (c *Core) pruneUndoLog() {
+	if len(c.undoLog) < 1024 {
+		return
+	}
+	cut := c.seq + 1
+	if len(c.rob) > 0 {
+		cut = c.rob[0].seq
+	}
+	if len(c.fences) > 0 && c.fences[0].seq+1 < cut {
+		cut = c.fences[0].seq + 1
+	}
+	i := 0
+	for i < len(c.undoLog) && c.undoLog[i].seq < cut {
+		i++
+	}
+	if i > 0 {
+		c.undoLog = append(c.undoLog[:0], c.undoLog[i:]...)
+	}
+}
+
+// checkWPlusTimeout implements the W+ deadlock suspicion logic: when this
+// core simultaneously (1) has a bounced pre-fence write and (2) has
+// bounced an external request since its fence began, a timeout arms; on
+// expiry the core assumes deadlock and rolls back (paper §3.3.3).
+func (c *Core) checkWPlusTimeout(now int64) {
+	if c.cfg.Design != fence.WPlus || len(c.fences) == 0 {
+		return
+	}
+	suspect := c.wbBounced && c.bouncedExternal
+	if !suspect {
+		c.timeoutArmed = false
+		return
+	}
+	if !c.timeoutArmed {
+		c.timeoutArmed = true
+		c.timeoutAt = now + c.cfg.WPlusTimeout
+		return
+	}
+	if now >= c.timeoutAt {
+		c.recoverWPlus(now)
+	}
+}
+
+// recoverWPlus restores the checkpoint taken at the oldest active weak
+// fence: registers and PC roll back to just after the fence, post-fence
+// write-buffer entries are dropped, the Bypass Set is cleared, and the
+// core waits for the write buffer to drain (which completes all pre-fence
+// accesses) before resuming. The same deadlock is then impossible.
+func (c *Core) recoverWPlus(now int64) {
+	f := c.fences[0]
+	c.st.Recoveries++
+	c.undoTo(f.seq + 1)
+	// Un-count Stat events that will be replayed.
+	keep := c.statLog[:0]
+	for _, s := range c.statLog {
+		if s.seq > f.seq {
+			c.st.Events[s.id]--
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	c.statLog = keep
+	for _, e := range c.rob {
+		e.squashed = true
+	}
+	c.rob = c.rob[:0]
+	c.robSlots = 0
+	for _, lm := range c.loadMisses {
+		lm.waiters = lm.waiters[:0]
+	}
+	if c.atomEntry != nil {
+		c.atomEntry = nil
+	}
+	kept := c.wb[:0]
+	for _, w := range c.wb {
+		if w.seq < f.seq {
+			kept = append(kept, w)
+		}
+	}
+	c.wb = kept
+	c.bs.Clear()
+	c.fences = c.fences[:0]
+	c.pc = f.pcAfter
+	c.fetchEnd = false
+	c.draining = true
+	c.workFree = now
+	c.timeoutArmed = false
+	c.bouncedExternal = false
+	c.pruneUndoLog()
+}
+
+// Step advances the core by one cycle. The simulator has already delivered
+// this cycle's incoming messages via HandleMsg.
+func (c *Core) Step(now int64) {
+	if c.finished {
+		c.st.IdleCycles++
+		return
+	}
+	c.redirectMispredict()
+	if c.draining {
+		c.drainWB(now)
+		if len(c.wb) == 0 && !c.wbInFlight {
+			c.draining = false
+		} else {
+			c.st.FenceStallCycles++
+			return
+		}
+	}
+	c.drainWB(now)
+	c.completeFences(now)
+	c.issueLoads(now)
+	retired, reason, blockPC := c.retire(now)
+	c.fetch(now)
+	c.checkWPlusTimeout(now)
+
+	switch {
+	case c.finished:
+		// The halting cycle itself counts as busy.
+		c.st.BusyCycles++
+	case retired > 0:
+		c.st.BusyCycles++
+	case reason == rWork:
+		c.st.BusyCycles++
+	case reason == rFence:
+		c.st.FenceStallCycles++
+		if blockPC >= 0 {
+			c.st.FenceSiteStall[blockPC]++
+		}
+	default:
+		c.st.OtherStallCycles++
+	}
+}
+
+// Pending reports whether the core still has in-flight machine state
+// (quiesce detection for the simulator).
+func (c *Core) Pending() bool {
+	return !c.finished || len(c.wb) > 0 || c.wbInFlight || c.atomInFlight || len(c.loadMisses) > 0
+}

@@ -1,0 +1,265 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program with symbolic labels. Branch targets may be
+// referenced before they are defined; Build resolves them and fails if any
+// label is missing or multiply defined.
+type Builder struct {
+	name    string
+	instrs  []Instr
+	labels  map[string]int
+	fixups  []fixup
+	errs    []error
+	autoLbl int
+}
+
+type fixup struct {
+	instr int
+	label string
+}
+
+// NewBuilder starts an empty program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.instrs) }
+
+// Label defines label name at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("isa: duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.instrs)
+}
+
+// NewLabel returns a fresh unique label name. Helpers that expand into
+// multiple basic blocks use it to avoid collisions.
+func (b *Builder) NewLabel(prefix string) string {
+	b.autoLbl++
+	return fmt.Sprintf(".%s%d", prefix, b.autoLbl)
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	b.instrs = append(b.instrs, in)
+	return b
+}
+
+func (b *Builder) emitBranch(in Instr, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{instr: len(b.instrs), label: label})
+	return b.emit(in)
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(Instr{Op: Nop}) }
+
+// Li emits dst = imm.
+func (b *Builder) Li(dst Reg, imm int32) *Builder {
+	return b.emit(Instr{Op: Li, Dst: dst, Imm: imm})
+}
+
+// Mov emits dst = src.
+func (b *Builder) Mov(dst, src Reg) *Builder {
+	return b.emit(Instr{Op: Mov, Dst: dst, Src1: src})
+}
+
+// Add emits dst = s1 + s2.
+func (b *Builder) Add(dst, s1, s2 Reg) *Builder {
+	return b.emit(Instr{Op: Add, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// Sub emits dst = s1 - s2.
+func (b *Builder) Sub(dst, s1, s2 Reg) *Builder {
+	return b.emit(Instr{Op: Sub, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// Mul emits dst = s1 * s2.
+func (b *Builder) Mul(dst, s1, s2 Reg) *Builder {
+	return b.emit(Instr{Op: Mul, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// And emits dst = s1 & s2.
+func (b *Builder) And(dst, s1, s2 Reg) *Builder {
+	return b.emit(Instr{Op: And, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// Or emits dst = s1 | s2.
+func (b *Builder) Or(dst, s1, s2 Reg) *Builder {
+	return b.emit(Instr{Op: Or, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// Xor emits dst = s1 ^ s2.
+func (b *Builder) Xor(dst, s1, s2 Reg) *Builder {
+	return b.emit(Instr{Op: Xor, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// AddI emits dst = src + imm.
+func (b *Builder) AddI(dst, src Reg, imm int32) *Builder {
+	return b.emit(Instr{Op: AddI, Dst: dst, Src1: src, Imm: imm})
+}
+
+// AndI emits dst = src & imm.
+func (b *Builder) AndI(dst, src Reg, imm int32) *Builder {
+	return b.emit(Instr{Op: AndI, Dst: dst, Src1: src, Imm: imm})
+}
+
+// ShlI emits dst = src << imm.
+func (b *Builder) ShlI(dst, src Reg, imm int32) *Builder {
+	return b.emit(Instr{Op: ShlI, Dst: dst, Src1: src, Imm: imm})
+}
+
+// ShrI emits dst = src >> imm (logical).
+func (b *Builder) ShrI(dst, src Reg, imm int32) *Builder {
+	return b.emit(Instr{Op: ShrI, Dst: dst, Src1: src, Imm: imm})
+}
+
+// Ld emits dst = MEM[base + disp].
+func (b *Builder) Ld(dst, base Reg, disp int32) *Builder {
+	return b.emit(Instr{Op: Ld, Dst: dst, Src1: base, Imm: disp})
+}
+
+// St emits MEM[base + disp] = src.
+func (b *Builder) St(src, base Reg, disp int32) *Builder {
+	return b.emit(Instr{Op: St, Src1: base, Src2: src, Imm: disp})
+}
+
+// Xchg emits an atomic exchange: dst = MEM[base+disp]; MEM[base+disp] = src.
+func (b *Builder) Xchg(dst, src, base Reg, disp int32) *Builder {
+	return b.emit(Instr{Op: Xchg, Dst: dst, Src1: base, Src2: src, Imm: disp})
+}
+
+// SFence emits a strong (conventional) fence.
+func (b *Builder) SFence() *Builder { return b.emit(Instr{Op: SFence}) }
+
+// WFence emits a weak fence.
+func (b *Builder) WFence() *Builder { return b.emit(Instr{Op: WFence}) }
+
+// Fence emits a weak fence when weak is true, otherwise a strong fence.
+// Workloads use it to place wf in the performance-critical thread and sf
+// in the others (the paper's asymmetric assignment).
+func (b *Builder) Fence(weak bool) *Builder {
+	if weak {
+		return b.WFence()
+	}
+	return b.SFence()
+}
+
+// Beq emits: if s1 == s2 goto label.
+func (b *Builder) Beq(s1, s2 Reg, label string) *Builder {
+	return b.emitBranch(Instr{Op: Beq, Src1: s1, Src2: s2}, label)
+}
+
+// Bne emits: if s1 != s2 goto label.
+func (b *Builder) Bne(s1, s2 Reg, label string) *Builder {
+	return b.emitBranch(Instr{Op: Bne, Src1: s1, Src2: s2}, label)
+}
+
+// Blt emits: if int32(s1) < int32(s2) goto label.
+func (b *Builder) Blt(s1, s2 Reg, label string) *Builder {
+	return b.emitBranch(Instr{Op: Blt, Src1: s1, Src2: s2}, label)
+}
+
+// Bge emits: if int32(s1) >= int32(s2) goto label.
+func (b *Builder) Bge(s1, s2 Reg, label string) *Builder {
+	return b.emitBranch(Instr{Op: Bge, Src1: s1, Src2: s2}, label)
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.emitBranch(Instr{Op: Jmp}, label)
+}
+
+// Work emits cycles of modeled computation. Emitting zero or negative
+// cycles is a no-op.
+func (b *Builder) Work(cycles int32) *Builder {
+	if cycles <= 0 {
+		return b
+	}
+	return b.emit(Instr{Op: Work, Imm: cycles})
+}
+
+// WorkR emits modeled computation whose cycle count is the value of
+// register r at the time it is fetched (used for data-dependent task
+// grains). Values are clamped to [0, 1<<20] by the core.
+func (b *Builder) WorkR(r Reg) *Builder {
+	return b.emit(Instr{Op: Work, Src1: r})
+}
+
+// WorkLoopR emits a loop burning the value of r cycles of computation in
+// 32-cycle chunks, using scratch as the loop counter. Unlike a single
+// large Work, the chunks occupy the reorder window incrementally, so a
+// blocked fence at the retirement head limits run-ahead realistically.
+// The low 5 bits of r are truncated.
+func (b *Builder) WorkLoopR(r, scratch Reg) *Builder {
+	done := b.NewLabel("wdone")
+	loop := b.NewLabel("wloop")
+	b.ShrI(scratch, r, 5)
+	b.Beq(scratch, R0, done)
+	b.Label(loop)
+	b.Work(32)
+	b.AddI(scratch, scratch, -1)
+	b.Bne(scratch, R0, loop)
+	b.Label(done)
+	return b
+}
+
+// WorkLoop emits n cycles of computation in 32-cycle chunks (see
+// WorkLoopR). Small amounts are emitted as a single Work.
+func (b *Builder) WorkLoop(n int32, scratch Reg) *Builder {
+	if n <= 64 {
+		return b.Work(n)
+	}
+	iters := n / 32
+	loop := b.NewLabel("wloop")
+	b.Li(scratch, iters)
+	b.Label(loop)
+	b.Work(32)
+	b.AddI(scratch, scratch, -1)
+	b.Bne(scratch, R0, loop)
+	return b
+}
+
+// Stat emits an event-counter increment (see stats.Counter ids).
+func (b *Builder) Stat(id int32) *Builder {
+	return b.emit(Instr{Op: Stat, Imm: id})
+}
+
+// Halt emits the end-of-thread marker.
+func (b *Builder) Halt() *Builder { return b.emit(Instr{Op: Halt}) }
+
+// LCG emits dst = dst*1103515245 + 12345, the classic linear congruential
+// step, using tmp as scratch. Workloads derive deterministic
+// pseudo-randomness from it so whole-machine runs stay reproducible.
+func (b *Builder) LCG(dst, tmp Reg) *Builder {
+	b.Li(tmp, 1103515245)
+	b.Mul(dst, dst, tmp)
+	return b.AddI(dst, dst, 12345)
+}
+
+// Build resolves labels and returns the finished program.
+func (b *Builder) Build() (*Program, error) {
+	for _, f := range b.fixups {
+		tgt, ok := b.labels[f.label]
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf("isa: undefined label %q", f.label))
+			continue
+		}
+		b.instrs[f.instr].Target = tgt
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	return &Program{Name: b.name, Instrs: b.instrs}, nil
+}
+
+// MustBuild is Build for programs assembled from trusted, tested builders.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

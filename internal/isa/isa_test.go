@@ -1,0 +1,136 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderLabelsResolve(t *testing.T) {
+	b := NewBuilder("t")
+	b.Li(1, 5)
+	b.Label("loop")
+	b.AddI(1, 1, -1)
+	b.Bne(1, R0, "loop")
+	b.Jmp("end")
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[2].Target != 1 {
+		t.Errorf("backward branch target %d, want 1", p.Instrs[2].Target)
+	}
+	if p.Instrs[3].Target != 5 {
+		t.Errorf("forward jump target %d, want 5", p.Instrs[3].Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("undefined label not reported")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate label not reported")
+	}
+}
+
+func TestNewLabelUnique(t *testing.T) {
+	b := NewBuilder("t")
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		l := b.NewLabel("x")
+		if seen[l] {
+			t.Fatalf("duplicate generated label %q", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestInstrClassification(t *testing.T) {
+	if !(Instr{Op: Beq}).IsBranch() || !(Instr{Op: Jmp}).IsBranch() {
+		t.Error("branch not classified")
+	}
+	if (Instr{Op: Add}).IsBranch() {
+		t.Error("add classified as branch")
+	}
+	for _, op := range []Op{Ld, St, Xchg} {
+		if !(Instr{Op: op}).IsMem() {
+			t.Errorf("%v not classified as memory", op)
+		}
+	}
+	if !(Instr{Op: SFence}).IsFence() || !(Instr{Op: WFence}).IsFence() {
+		t.Error("fence not classified")
+	}
+	if (Instr{Op: Ld}).IsFence() {
+		t.Error("load classified as fence")
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: Li, Dst: 3, Imm: -7}, "li r3, -7"},
+		{Instr{Op: Ld, Dst: 2, Src1: 4, Imm: 8}, "ld r2, 8(r4)"},
+		{Instr{Op: St, Src1: 4, Src2: 2, Imm: 0}, "st r2, 0(r4)"},
+		{Instr{Op: Beq, Src1: 1, Src2: 2, Target: 9}, "beq r1, r2, @9"},
+		{Instr{Op: SFence}, "sfence"},
+		{Instr{Op: Work, Imm: 32}, "work 32"},
+		{Instr{Op: Work, Src1: 7}, "work r7"},
+		{Instr{Op: Xchg, Dst: 1, Src2: 2, Src1: 3, Imm: 4}, "xchg r1, r2, 4(r3)"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("disasm %v = %q, want %q", c.in.Op, got, c.want)
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := NewBuilder("demo").Li(1, 1).Halt().MustBuild()
+	s := p.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "li r1, 1") || !strings.Contains(s, "halt") {
+		t.Fatalf("program listing incomplete:\n%s", s)
+	}
+}
+
+func TestFenceHelper(t *testing.T) {
+	p := NewBuilder("f").Fence(true).Fence(false).Halt().MustBuild()
+	if p.Instrs[0].Op != WFence || p.Instrs[1].Op != SFence {
+		t.Fatal("Fence helper emitted wrong flavors")
+	}
+}
+
+func TestWorkLoopHelpers(t *testing.T) {
+	// Small amounts collapse to a single Work.
+	p := NewBuilder("w").WorkLoop(40, 2).Halt().MustBuild()
+	if p.Instrs[0].Op != Work || p.Instrs[0].Imm != 40 {
+		t.Fatalf("small WorkLoop: %v", p.Instrs[0])
+	}
+	// Large amounts loop in 32-cycle chunks.
+	p = NewBuilder("w").WorkLoop(320, 2).Halt().MustBuild()
+	var chunks int
+	for _, in := range p.Instrs {
+		if in.Op == Work {
+			chunks++
+			if in.Imm != 32 {
+				t.Fatalf("chunk size %d", in.Imm)
+			}
+		}
+	}
+	if chunks != 1 {
+		t.Fatalf("expected one loop-body Work, found %d", chunks)
+	}
+}

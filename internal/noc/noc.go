@@ -1,0 +1,187 @@
+// Package noc models the on-chip interconnect: a 2D mesh with XY routing,
+// 5 cycles per hop and 256-bit (32-byte) links, per Table 2 of the paper.
+//
+// The model is latency- and bandwidth-accounting-oriented: a packet's
+// delivery time is hop latency plus serialization, and every byte sent is
+// attributed to a traffic category so the harness can reproduce the
+// "% traffic increase" columns of Table 4. Link contention is not modeled
+// (the paper's fence traffic is far below link capacity; Table 4 reports
+// negligible increases).
+package noc
+
+import "container/heap"
+
+// Default link parameters (Table 2).
+const (
+	DefaultHopLatency = 5  // cycles per mesh hop
+	DefaultLinkBytes  = 32 // bytes transferred per cycle per link (256-bit)
+)
+
+// Traffic categories for byte accounting.
+type Category uint8
+
+const (
+	// CatProtocol is ordinary coherence protocol traffic.
+	CatProtocol Category = iota
+	// CatRetry is traffic caused by bounced-and-retried write transactions
+	// (the wf bounce mechanism). Table 4 columns 8 and 11 report the
+	// increase this causes.
+	CatRetry
+	// CatFence is fence-management traffic (WeeFence GRT deposits/removals).
+	CatFence
+	numCategories
+)
+
+// Packet is one message in flight. Payload is opaque to the mesh.
+type Packet struct {
+	Src, Dst int // node ids
+	Size     int // bytes, for serialization latency and accounting
+	Cat      Category
+	Payload  any
+}
+
+type inFlight struct {
+	arrive int64
+	seq    uint64 // FIFO tie-break for determinism
+	pkt    Packet
+}
+
+type pktHeap []inFlight
+
+func (h pktHeap) Len() int { return len(h) }
+func (h pktHeap) Less(i, j int) bool {
+	if h[i].arrive != h[j].arrive {
+		return h[i].arrive < h[j].arrive
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pktHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pktHeap) Push(x any)   { *h = append(*h, x.(inFlight)) }
+func (h *pktHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Stats accumulates traffic accounting.
+type Stats struct {
+	Packets      uint64
+	Bytes        uint64
+	BytesByCat   [numCategories]uint64
+	PacketsByCat [numCategories]uint64
+}
+
+// BytesIn returns the bytes sent in category c.
+func (s *Stats) BytesIn(c Category) uint64 { return s.BytesByCat[c] }
+
+// Mesh is the 2D interconnect. Node ids are 0..Nodes()-1, laid out row
+// major on a width x height grid.
+type Mesh struct {
+	width, height int
+	hopLatency    int64
+	linkBytes     int
+	queues        []pktHeap // one per destination
+	// lastArrive enforces point-to-point FIFO ordering per (src, dst)
+	// channel: XY routing sends all traffic between a pair down one path,
+	// so later packets can never overtake earlier ones even when their
+	// serialization latencies differ. The coherence protocol relies on
+	// this (e.g. a data grant must not be overtaken by a subsequent
+	// invalidation from the same home module).
+	lastArrive []int64
+	seq        uint64
+	stats      Stats
+}
+
+// NewMesh builds a width x height mesh with default link parameters.
+func NewMesh(width, height int) *Mesh {
+	m := &Mesh{
+		width:      width,
+		height:     height,
+		hopLatency: DefaultHopLatency,
+		linkBytes:  DefaultLinkBytes,
+		queues:     make([]pktHeap, width*height),
+		lastArrive: make([]int64, width*height*width*height),
+	}
+	return m
+}
+
+// MeshFor returns the smallest mesh dimensions used for n cores: the
+// most-square width x height grid with width*height == n, preferring a
+// wider grid (e.g. 8 -> 4x2, 16 -> 4x4, 32 -> 8x4).
+func MeshFor(n int) (width, height int) {
+	best := 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			best = d
+		}
+	}
+	return n / best, best
+}
+
+// Nodes returns the node count.
+func (m *Mesh) Nodes() int { return m.width * m.height }
+
+// Hops returns the XY-routed hop count between two nodes.
+func (m *Mesh) Hops(a, b int) int {
+	ax, ay := a%m.width, a/m.width
+	bx, by := b%m.width, b/m.width
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Latency returns the delivery latency for a packet of size bytes between
+// two nodes: per-hop latency plus serialization on the 32-byte links.
+// A local (same-node) message still costs one cycle.
+func (m *Mesh) Latency(src, dst, size int) int64 {
+	ser := int64((size + m.linkBytes - 1) / m.linkBytes)
+	if ser < 1 {
+		ser = 1
+	}
+	return m.hopLatency*int64(m.Hops(src, dst)) + ser
+}
+
+// Send injects a packet at cycle now. It will be visible to the
+// destination's Deliver at now + Latency.
+func (m *Mesh) Send(now int64, p Packet) {
+	if p.Dst < 0 || p.Dst >= len(m.queues) {
+		panic("noc: bad destination")
+	}
+	m.stats.Packets++
+	m.stats.Bytes += uint64(p.Size)
+	m.stats.PacketsByCat[p.Cat]++
+	m.stats.BytesByCat[p.Cat] += uint64(p.Size)
+	m.seq++
+	arrive := now + m.Latency(p.Src, p.Dst, p.Size)
+	ch := p.Src*m.Nodes() + p.Dst
+	if arrive < m.lastArrive[ch] {
+		arrive = m.lastArrive[ch]
+	}
+	m.lastArrive[ch] = arrive
+	heap.Push(&m.queues[p.Dst], inFlight{arrive: arrive, seq: m.seq, pkt: p})
+}
+
+// Deliver pops every packet destined to dst that has arrived by cycle now,
+// in deterministic (arrival, injection) order.
+func (m *Mesh) Deliver(now int64, dst int) []Packet {
+	q := &m.queues[dst]
+	var out []Packet
+	for q.Len() > 0 && (*q)[0].arrive <= now {
+		out = append(out, heap.Pop(q).(inFlight).pkt)
+	}
+	return out
+}
+
+// Pending reports whether any packet is still in flight anywhere.
+func (m *Mesh) Pending() bool {
+	for i := range m.queues {
+		if m.queues[i].Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a copy of the accumulated traffic statistics.
+func (m *Mesh) Stats() Stats { return m.stats }

@@ -1,0 +1,110 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshFor(t *testing.T) {
+	cases := []struct{ n, w, h int }{
+		{4, 2, 2}, {8, 4, 2}, {16, 4, 4}, {32, 8, 4},
+	}
+	for _, c := range cases {
+		w, h := MeshFor(c.n)
+		if w != c.w || h != c.h {
+			t.Errorf("MeshFor(%d) = %dx%d, want %dx%d", c.n, w, h, c.w, c.h)
+		}
+	}
+}
+
+func TestHops(t *testing.T) {
+	m := NewMesh(4, 2) // nodes 0..3 top row, 4..7 bottom row
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 3, 3}, {0, 4, 1}, {0, 7, 4}, {3, 4, 4},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: hop count is symmetric and satisfies the triangle inequality.
+func TestHopsMetricQuick(t *testing.T) {
+	m := NewMesh(4, 4)
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%16, int(b)%16, int(c)%16
+		if m.Hops(x, y) != m.Hops(y, x) {
+			return false
+		}
+		return m.Hops(x, z) <= m.Hops(x, y)+m.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	m := NewMesh(4, 2)
+	// Same node: serialization only.
+	if got := m.Latency(0, 0, 8); got != 1 {
+		t.Errorf("local 8B latency %d, want 1", got)
+	}
+	// One hop, 40 bytes: 5 + ceil(40/32) = 7.
+	if got := m.Latency(0, 1, 40); got != 7 {
+		t.Errorf("1-hop 40B latency %d, want 7", got)
+	}
+}
+
+func TestDeliveryOrderAndTiming(t *testing.T) {
+	m := NewMesh(2, 2)
+	m.Send(0, Packet{Src: 0, Dst: 3, Size: 8, Payload: "far"})  // 2 hops: arrives at 11
+	m.Send(0, Packet{Src: 1, Dst: 3, Size: 8, Payload: "near"}) // 1 hop: arrives at 6
+	if got := m.Deliver(5, 3); len(got) != 0 {
+		t.Fatalf("early delivery: %v", got)
+	}
+	got := m.Deliver(6, 3)
+	if len(got) != 1 || got[0].Payload != "near" {
+		t.Fatalf("at 6: %v", got)
+	}
+	got = m.Deliver(11, 3)
+	if len(got) != 1 || got[0].Payload != "far" {
+		t.Fatalf("at 11: %v", got)
+	}
+	if m.Pending() {
+		t.Fatal("mesh still pending after full delivery")
+	}
+}
+
+// TestChannelFIFO is the protocol-critical property: packets between the
+// same (src, dst) pair never reorder even when a later, smaller packet
+// would nominally arrive earlier (e.g. a control message following a data
+// grant). The MESI implementation relies on this.
+func TestChannelFIFO(t *testing.T) {
+	m := NewMesh(2, 2)
+	m.Send(0, Packet{Src: 0, Dst: 1, Size: 64, Payload: "data"}) // 2 serialization cycles
+	m.Send(0, Packet{Src: 0, Dst: 1, Size: 8, Payload: "ctrl"})  // would arrive first unordered
+	var order []string
+	for cyc := int64(1); cyc < 20; cyc++ {
+		for _, p := range m.Deliver(cyc, 1) {
+			order = append(order, p.Payload.(string))
+		}
+	}
+	if len(order) != 2 || order[0] != "data" || order[1] != "ctrl" {
+		t.Fatalf("channel reordered: %v", order)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	m := NewMesh(2, 2)
+	m.Send(0, Packet{Src: 0, Dst: 1, Size: 8, Cat: CatProtocol})
+	m.Send(0, Packet{Src: 0, Dst: 1, Size: 40, Cat: CatRetry})
+	m.Send(0, Packet{Src: 0, Dst: 1, Size: 12, Cat: CatFence})
+	s := m.Stats()
+	if s.Packets != 3 || s.Bytes != 60 {
+		t.Fatalf("totals: %+v", s)
+	}
+	if s.BytesIn(CatRetry) != 40 || s.BytesIn(CatFence) != 12 || s.BytesIn(CatProtocol) != 8 {
+		t.Fatalf("per-category: %+v", s.BytesByCat)
+	}
+}

@@ -1,0 +1,66 @@
+package sim_test
+
+import (
+	"testing"
+
+	"asymfence/internal/fence"
+	"asymfence/internal/mem"
+	"asymfence/internal/workloads/litmus"
+)
+
+// TestCFencePreventsSCV: the Conditional Fence baseline (paper §8) must
+// also prevent the Dekker SC violation — the centralized associate table
+// makes the later-registering fence of a colliding pair stall until the
+// earlier one completes.
+func TestCFencePreventsSCV(t *testing.T) {
+	al := mem.NewAllocator(dataBase)
+	progs, _ := litmus.SB(al, litmus.Strong, litmus.Strong, 3)
+	m, _ := runMachine(t, fence.CFence, 4, progs[:])
+	r0 := m.Core(0).Reg(10)
+	r1 := m.Core(1).Reg(10)
+	if r0 == 0 && r1 == 0 {
+		t.Fatalf("C-Fence: SC violation: (0,0)")
+	}
+}
+
+// TestCFenceIsFreeWithoutCollisions: an uncontended fence costs only the
+// table round trip, not the write-buffer drain.
+func TestCFenceIsFreeWithoutCollisions(t *testing.T) {
+	al := mem.NewAllocator(dataBase)
+	progs, _ := litmus.SB(al, litmus.Strong, litmus.Strong, 3)
+	// Run thread 0 alone: no associate ever executes concurrently.
+	m, res := runMachine(t, fence.CFence, 4, progs[:1])
+	_ = m
+	st := res.Cores[0]
+	if st.WFences == 0 {
+		t.Fatal("uncontended C-Fence did not take the free path")
+	}
+	// The free path costs the node-0 round trip (tens of cycles), far
+	// below the ~600-cycle drain of the three cold stores.
+	if st.FenceStallCycles > 150 {
+		t.Fatalf("uncontended C-Fence stalled %d cycles", st.FenceStallCycles)
+	}
+}
+
+// TestCFenceCollidingPairStalls: when both threads' fences overlap, at
+// least one must take the stall path (counted as a strong fence).
+func TestCFenceCollidingPairStalls(t *testing.T) {
+	al := mem.NewAllocator(dataBase)
+	progs, _ := litmus.SB(al, litmus.Strong, litmus.Strong, 3)
+	_, res := runMachine(t, fence.CFence, 4, progs[:])
+	agg := res.Agg()
+	if agg.SFences == 0 {
+		t.Fatal("colliding C-Fences never stalled")
+	}
+}
+
+// TestCFenceBakery: mutual exclusion must hold under the baseline too.
+func TestCFenceBakery(t *testing.T) {
+	const n, rounds = 4, 6
+	al := mem.NewAllocator(dataBase)
+	progs, lay := litmus.Bakery(al, n, rounds, []bool{true, true, true, true}, true)
+	m, _ := runMachine(t, fence.CFence, n, progs)
+	if got := m.Store().Load(lay.Counter); got != n*rounds {
+		t.Fatalf("mutual exclusion broken under C-Fence: counter=%d want %d", got, n*rounds)
+	}
+}

@@ -1,0 +1,233 @@
+// Package sim wires cores, directory modules, the mesh and the functional
+// store into a whole simulated multicore and drives the cycle loop.
+//
+// Stepping is deterministic: each cycle, arrived packets are delivered
+// node by node (directory messages first at each node), directory timers
+// fire, then cores step in index order. Identical configurations and
+// programs produce bit-identical runs; a test asserts this.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"asymfence/internal/coherence"
+	"asymfence/internal/cpu"
+	"asymfence/internal/fence"
+	"asymfence/internal/isa"
+	"asymfence/internal/mem"
+	"asymfence/internal/noc"
+	"asymfence/internal/stats"
+)
+
+// Config describes a whole machine (Table 2 defaults apply to zero
+// fields).
+type Config struct {
+	NCores int
+	Design fence.Design
+
+	// Core is the per-core template; ID/NCores/Design are filled in.
+	Core cpu.Config
+
+	// L2BytesPerBank is the shared-L2 bank capacity (default 128 KB).
+	L2BytesPerBank int
+
+	// MaxCycles bounds Run (default 10M).
+	MaxCycles int64
+
+	// WatchdogCycles: if no instruction retires anywhere for this long,
+	// Run reports a deadlock (default 100k). The W+ recovery timeout is
+	// far below this, so only genuine deadlocks (e.g. naive all-weak
+	// groups) trip it.
+	WatchdogCycles int64
+
+	// Privacy feeds WeeFence's Private Access Filtering (may be nil).
+	Privacy *mem.Privacy
+
+	// WarmRegions are preloaded into the shared L2 before cycle 0,
+	// modeling working sets that are warm mid-run (first-touch cold
+	// misses would otherwise dominate short simulations).
+	WarmRegions []mem.Region
+}
+
+func (c *Config) applyDefaults() {
+	if c.NCores == 0 {
+		c.NCores = 8
+	}
+	if c.L2BytesPerBank == 0 {
+		c.L2BytesPerBank = 128 * 1024
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 10_000_000
+	}
+	if c.WatchdogCycles == 0 {
+		c.WatchdogCycles = 100_000
+	}
+}
+
+// ErrDeadlock is returned by Run when the watchdog fires.
+var ErrDeadlock = errors.New("sim: machine deadlocked (no retirement progress)")
+
+// ErrHorizon is returned by Run when MaxCycles elapses before completion.
+var ErrHorizon = errors.New("sim: cycle horizon reached before completion")
+
+// Machine is one simulated multicore.
+type Machine struct {
+	cfg   Config
+	mesh  *noc.Mesh
+	store *mem.Store
+	dirs  []*coherence.Directory
+	cores []*cpu.Core
+	cycle int64
+}
+
+// New builds a machine running programs[i] on core i. len(programs) must
+// equal cfg.NCores. The store carries pre-initialized workload data.
+func New(cfg Config, programs []*isa.Program, store *mem.Store) (*Machine, error) {
+	cfg.applyDefaults()
+	if len(programs) != cfg.NCores {
+		return nil, fmt.Errorf("sim: %d programs for %d cores", len(programs), cfg.NCores)
+	}
+	w, h := noc.MeshFor(cfg.NCores)
+	mesh := noc.NewMesh(w, h)
+	grt := coherence.NewGRT()
+	m := &Machine{cfg: cfg, mesh: mesh, store: store}
+	for i := 0; i < cfg.NCores; i++ {
+		m.dirs = append(m.dirs, coherence.NewDirectory(i, cfg.NCores, mesh, cfg.L2BytesPerBank, grt))
+		cc := cfg.Core
+		cc.ID = i
+		cc.NCores = cfg.NCores
+		cc.Design = cfg.Design
+		cc.Privacy = cfg.Privacy
+		m.cores = append(m.cores, cpu.New(cc, programs[i], mesh, store))
+	}
+	for _, r := range cfg.WarmRegions {
+		for l := mem.LineOf(r.Base); l < mem.Line(r.Base+r.Size); l += mem.LineSize {
+			m.dirs[mem.HomeBank(l, cfg.NCores)].Preload(l)
+		}
+	}
+	return m, nil
+}
+
+// Cycle returns the current cycle.
+func (m *Machine) Cycle() int64 { return m.cycle }
+
+// Store returns the functional memory (for inspecting workload results).
+func (m *Machine) Store() *mem.Store { return m.store }
+
+// Core returns core i (test hook).
+func (m *Machine) Core(i int) *cpu.Core { return m.cores[i] }
+
+// Directory returns directory module i (test hook).
+func (m *Machine) Directory(i int) *coherence.Directory { return m.dirs[i] }
+
+// Step advances the whole machine one cycle.
+func (m *Machine) Step() {
+	m.cycle++
+	now := m.cycle
+	for n := 0; n < m.cfg.NCores; n++ {
+		for _, pkt := range m.mesh.Deliver(now, n) {
+			msg := pkt.Payload.(coherence.Msg)
+			if coherence.ToDirectory(msg.Type) {
+				m.dirs[n].Handle(now, msg)
+			} else {
+				m.cores[n].HandleMsg(now, msg)
+			}
+		}
+	}
+	for _, d := range m.dirs {
+		d.Step(now)
+	}
+	for _, c := range m.cores {
+		c.Step(now)
+	}
+}
+
+// Finished reports whether every core has halted and the fabric drained.
+func (m *Machine) Finished() bool {
+	for _, c := range m.cores {
+		if !c.Finished() || c.Pending() {
+			return false
+		}
+	}
+	return !m.mesh.Pending()
+}
+
+// Result summarizes one run.
+type Result struct {
+	Cycles   int64
+	Finished bool
+	Cores    []*stats.Core
+	NoC      noc.Stats
+	Dir      coherence.DirStats
+}
+
+// Agg returns the per-core stats merged into one block.
+func (r *Result) Agg() *stats.Core {
+	agg := stats.NewCore()
+	for _, c := range r.Cores {
+		agg.Add(c)
+	}
+	return agg
+}
+
+func (m *Machine) result(finished bool) *Result {
+	r := &Result{Cycles: m.cycle, Finished: finished}
+	for _, c := range m.cores {
+		r.Cores = append(r.Cores, c.Stats())
+	}
+	r.NoC = m.mesh.Stats()
+	for _, d := range m.dirs {
+		s := d.Stats
+		r.Dir.GetSReqs += s.GetSReqs
+		r.Dir.GetMReqs += s.GetMReqs
+		r.Dir.Writebacks += s.Writebacks
+		r.Dir.BouncedWrites += s.BouncedWrites
+		r.Dir.OrderOps += s.OrderOps
+		r.Dir.CondOrderFails += s.CondOrderFails
+		r.Dir.CondOrderOks += s.CondOrderOks
+		r.Dir.MemFetches += s.MemFetches
+		r.Dir.L2Hits += s.L2Hits
+		r.Dir.GRTDeposits += s.GRTDeposits
+		r.Dir.GRTRemovals += s.GRTRemovals
+	}
+	return r
+}
+
+// Run executes until every core halts, the horizon is reached, or the
+// watchdog detects a deadlock.
+func (m *Machine) Run() (*Result, error) {
+	lastProgress := m.cycle
+	lastRetired := m.totalRetired()
+	for m.cycle < m.cfg.MaxCycles {
+		m.Step()
+		if m.Finished() {
+			return m.result(true), nil
+		}
+		if r := m.totalRetired(); r != lastRetired {
+			lastRetired = r
+			lastProgress = m.cycle
+		} else if m.cycle-lastProgress > m.cfg.WatchdogCycles {
+			return m.result(false), ErrDeadlock
+		}
+	}
+	return m.result(false), ErrHorizon
+}
+
+// RunFor executes exactly n cycles (throughput experiments run to a fixed
+// horizon and report committed transactions).
+func (m *Machine) RunFor(n int64) *Result {
+	end := m.cycle + n
+	for m.cycle < end {
+		m.Step()
+	}
+	return m.result(m.Finished())
+}
+
+func (m *Machine) totalRetired() uint64 {
+	var t uint64
+	for _, c := range m.cores {
+		t += c.Stats().RetiredInstrs
+	}
+	return t
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddMergesEverything(t *testing.T) {
+	a := NewCore()
+	a.BusyCycles = 10
+	a.FenceStallCycles = 5
+	a.Events[EvCommit] = 3
+	a.FenceSiteStall[7] = 4
+	b := NewCore()
+	b.BusyCycles = 1
+	b.FenceStallCycles = 2
+	b.Events[EvCommit] = 1
+	b.Events[EvAbort] = 9
+	b.FenceSiteStall[7] = 1
+	b.FenceSiteStall[9] = 2
+	a.Add(b)
+	if a.BusyCycles != 11 || a.FenceStallCycles != 7 {
+		t.Fatalf("cycle merge wrong: %+v", a)
+	}
+	if a.Events[EvCommit] != 4 || a.Events[EvAbort] != 9 {
+		t.Fatalf("event merge wrong: %v", a.Events)
+	}
+	if a.FenceSiteStall[7] != 5 || a.FenceSiteStall[9] != 2 {
+		t.Fatalf("site merge wrong: %v", a.FenceSiteStall)
+	}
+}
+
+func TestTopFenceSitesOrdering(t *testing.T) {
+	c := NewCore()
+	c.FenceSiteStall[1] = 10
+	c.FenceSiteStall[2] = 30
+	c.FenceSiteStall[3] = 20
+	top := c.TopFenceSites(2)
+	if len(top) != 2 || top[0].PC != 2 || top[1].PC != 3 {
+		t.Fatalf("top sites: %v", top)
+	}
+	all := c.TopFenceSites(10)
+	if len(all) != 3 {
+		t.Fatalf("want all 3 sites, got %d", len(all))
+	}
+}
+
+// Property: TopFenceSites is always sorted descending and never invents
+// entries.
+func TestTopFenceSitesQuick(t *testing.T) {
+	f := func(vals []uint16) bool {
+		c := NewCore()
+		for i, v := range vals {
+			c.FenceSiteStall[i] += uint64(v)
+		}
+		top := c.TopFenceSites(len(vals) + 1)
+		for i := 1; i < len(top); i++ {
+			if top[i].Cycles > top[i-1].Cycles {
+				return false
+			}
+		}
+		return len(top) == len(c.FenceSiteStall)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPer1000Instrs(t *testing.T) {
+	c := NewCore()
+	if c.Per1000Instrs(5) != 0 {
+		t.Fatal("division by zero retired instructions")
+	}
+	c.RetiredInstrs = 2000
+	if got := c.Per1000Instrs(4); got != 2 {
+		t.Fatalf("per-1000 = %v", got)
+	}
+}
+
+func TestMeanBSLines(t *testing.T) {
+	c := NewCore()
+	if c.MeanBSLines() != 0 {
+		t.Fatal("empty mean not zero")
+	}
+	c.BSLinesSum, c.BSLinesSamples = 9, 3
+	if c.MeanBSLines() != 3 {
+		t.Fatalf("mean = %v", c.MeanBSLines())
+	}
+}
+
+func TestTotalCyclesExcludesIdle(t *testing.T) {
+	c := NewCore()
+	c.BusyCycles, c.FenceStallCycles, c.OtherStallCycles, c.IdleCycles = 1, 2, 3, 100
+	if c.TotalCycles() != 6 {
+		t.Fatalf("total = %d", c.TotalCycles())
+	}
+}

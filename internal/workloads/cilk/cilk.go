@@ -1,0 +1,331 @@
+// Package cilk implements the paper's first workload group (Table 3): a
+// work-stealing runtime using the Cilk-5 THE protocol (Frigo et al.,
+// PLDI'98), written in the simulated ISA, plus the ten CilkApps profiles.
+//
+// Each worker owns a deque; take() removes tasks from the tail and
+// steal() from the head, coordinated by the Dekker-like THE handshake of
+// paper Fig. 5a: both paths write their index, fence, then read the other
+// index, falling back to a lock on conflict. The owner's fence is the
+// performance-critical one (paper §4.1: fewer than 0.5% of tasks are
+// stolen), so asymmetric designs place a wf in take() and an sf in
+// steal().
+//
+// Substitution note (DESIGN.md §4): the applications' own computation is
+// modeled by per-task work/load/store profiles; the synchronization code
+// the paper measures executes instruction-by-instruction.
+package cilk
+
+import (
+	"fmt"
+
+	"asymfence/internal/fence"
+	"asymfence/internal/isa"
+	"asymfence/internal/mem"
+	"asymfence/internal/stats"
+)
+
+// Assignment selects the fence flavor per role, per the paper's usage.
+type Assignment struct {
+	OwnerWeak bool // take() fence
+	ThiefWeak bool // steal() fence
+}
+
+// AssignmentFor returns the paper's fence assignment for a design:
+// S+ uses sfs everywhere; WS+/SW+ give the critical owner a wf and the
+// thief an sf; W+ and Wee use weak fences everywhere (Table 4: W+ and Wee
+// have no static sfs).
+func AssignmentFor(d fence.Design) Assignment {
+	switch d {
+	case fence.SPlus:
+		return Assignment{}
+	case fence.WSPlus, fence.SWPlus:
+		return Assignment{OwnerWeak: true}
+	default: // W+, Wee
+		return Assignment{OwnerWeak: true, ThiefWeak: true}
+	}
+}
+
+// Layout records where the runtime's shared state lives.
+type Layout struct {
+	Deques     mem.Addr // per worker: one line, T at +0, H at +4
+	Locks      mem.Addr // per worker: one line
+	Tasks      mem.Addr // per worker: TasksPerWorker words, line-strided
+	Done       mem.Addr // per worker: one line (completed-task counter)
+	TaskStride int32    // bytes between workers' task arrays
+}
+
+// Workload is a fully built run: one program per worker plus the layout
+// and the invariants tests check.
+type Workload struct {
+	Profile    Profile
+	Progs      []*isa.Program
+	Layout     Layout
+	TotalTasks int
+	// WarmRegions should be preloaded into the L2 (sim.Config.WarmRegions):
+	// the store rings and task arrays a real run would have touched long
+	// before the measured region.
+	WarmRegions []mem.Region
+}
+
+// Register conventions of the worker program.
+const (
+	rDeque  = isa.Reg(1)  // my deque base (T at +0, H at +4)
+	rLock   = isa.Reg(2)  // my lock address
+	rTasks  = isa.Reg(3)  // my task array base
+	rOne    = isa.Reg(4)  // constant 1
+	rT      = isa.Reg(5)  // tail/index temp
+	rH      = isa.Reg(6)  // head temp
+	rTask   = isa.Reg(7)  // current task value (grain cycles)
+	rAddr   = isa.Reg(8)  // address temp
+	rTmp    = isa.Reg(9)  // temp
+	rStBase = isa.Reg(11) // private store-ring base
+	rLdCur  = isa.Reg(12) // private load cursor
+	rVict   = isa.Reg(13) // victim id
+	rScr    = isa.Reg(14) // scratch (lock/xchg result, sum index)
+	rMask   = isa.Reg(15) // N-1 (victim wraparound mask)
+	rDoneB  = isa.Reg(16) // done-array base
+	rN      = isa.Reg(17) // worker count
+	rTotal  = isa.Reg(18) // total task count
+	rSum    = isa.Reg(19) // done sum
+	rDone   = isa.Reg(20) // my completed-task count
+	rVDeque = isa.Reg(21) // victim deque base
+	rVLock  = isa.Reg(22) // victim lock address
+	rVTasks = isa.Reg(23) // victim task base
+	rPid    = isa.Reg(24) // my worker id
+	rStride = isa.Reg(26) // task-array stride in bytes
+	rMyDone = isa.Reg(27) // my done-slot address
+	rWork   = isa.Reg(28) // work-loop counter
+	rStOff  = isa.Reg(29) // store-ring offset
+)
+
+// ringBytes is the per-worker store ring: twice the L1 so ring stores miss
+// in the L1 but stay L2-resident (a ~40-cycle drain, not a memory fetch).
+const ringBytes = 64 * 1024
+
+// Build lays out the runtime state in the allocator, seeds the task
+// queues in the functional store, marks the shared structures in privacy
+// (may be nil), and assembles one program per worker. nworkers must be a
+// power of two (victim selection uses a mask).
+func Build(p Profile, nworkers int, asym Assignment, seed uint64, al *mem.Allocator, store *mem.Store, privacy *mem.Privacy) *Workload {
+	if nworkers&(nworkers-1) != 0 || nworkers == 0 {
+		panic("cilk: nworkers must be a power of two")
+	}
+	total := p.TasksPerWorker * nworkers
+	taskWordsPerWorker := p.TasksPerWorker
+	taskStride := int32(mem.Align(mem.Addr(taskWordsPerWorker*4), mem.LineSize))
+
+	lay := Layout{
+		Deques:     al.AllocLines(p.Name+".deques", nworkers),
+		Locks:      al.AllocLines(p.Name+".locks", nworkers),
+		Tasks:      al.Alloc(p.Name+".tasks", mem.Addr(int32(nworkers)*taskStride), mem.LineSize),
+		Done:       al.AllocLines(p.Name+".done", nworkers),
+		TaskStride: taskStride,
+	}
+	if privacy != nil {
+		privacy.MarkShared(lay.Deques, mem.Addr(nworkers*mem.LineSize))
+		privacy.MarkShared(lay.Locks, mem.Addr(nworkers*mem.LineSize))
+		privacy.MarkShared(lay.Tasks, mem.Addr(int32(nworkers)*taskStride))
+		privacy.MarkShared(lay.Done, mem.Addr(nworkers*mem.LineSize))
+	}
+
+	// Seed the deques and task values. Task grain = GrainBase + r%GrainVar
+	// from a deterministic generator, so workers finish at different
+	// times and stealing happens (rarely), as in the paper's apps.
+	rng := seed*2654435761 + 1
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for w := 0; w < nworkers; w++ {
+		qb := lay.Deques + mem.Addr(w*mem.LineSize)
+		store.StoreWord(qb+0, uint32(p.TasksPerWorker)) // T
+		store.StoreWord(qb+4, 0)                        // H
+		tb := lay.Tasks + mem.Addr(int32(w)*taskStride)
+		for i := 0; i < p.TasksPerWorker; i++ {
+			grain := uint32(p.GrainBase)
+			if p.GrainVar > 0 {
+				grain += uint32(next() % uint64(p.GrainVar))
+			}
+			store.StoreWord(tb+mem.Addr(i*4), grain)
+		}
+	}
+
+	wl := &Workload{Profile: p, Layout: lay, TotalTasks: total}
+	wl.WarmRegions = append(wl.WarmRegions,
+		mem.Region{Base: lay.Deques, Size: mem.Addr(nworkers * mem.LineSize)},
+		mem.Region{Base: lay.Tasks, Size: mem.Addr(int32(nworkers) * taskStride)},
+		mem.Region{Base: lay.Done, Size: mem.Addr(nworkers * mem.LineSize)},
+	)
+	for w := 0; w < nworkers; w++ {
+		prog, warm := buildWorker(p, w, nworkers, total, asym, lay, al)
+		wl.Progs = append(wl.Progs, prog)
+		wl.WarmRegions = append(wl.WarmRegions, warm)
+	}
+	return wl
+}
+
+// emitLock spins on an xchg-based test-and-set lock at the address in reg.
+func emitLock(b *isa.Builder, addrReg isa.Reg) {
+	l := b.NewLabel("lock")
+	b.Label(l)
+	b.Xchg(rScr, rOne, addrReg, 0)
+	b.Bne(rScr, isa.R0, l)
+}
+
+func emitUnlock(b *isa.Builder, addrReg isa.Reg) {
+	b.St(isa.R0, addrReg, 0)
+}
+
+// emitExecute runs the current task (grain in rTask): modeled computation,
+// a serial chain of cold loads (the memory-bound phase of the task), the
+// completion bookkeeping, and ring stores cycling over a private region
+// larger than the L1 but L2-resident. The ring stores miss in the L1 and
+// take an L2 round trip to drain, so they are often still in the write
+// buffer when the next take() fence executes — the source of the
+// conventional fence's stall (paper §1: a fence is costly when the write
+// buffer holds stores that miss in the cache).
+func emitExecute(b *isa.Builder, p Profile, stolen bool) {
+	b.WorkLoopR(rTask, rWork)
+	for i := 0; i < p.ColdLoadsPerTask; i++ {
+		// Serialized cold misses: the next address depends on the loaded
+		// value (always zero), creating a true dependence chain.
+		b.Ld(rTmp, rLdCur, 0)
+		b.Add(rLdCur, rLdCur, rTmp)
+		b.AddI(rLdCur, rLdCur, mem.LineSize)
+	}
+	b.AddI(rDone, rDone, 1)
+	b.St(rDone, rMyDone, 0)
+	b.Stat(stats.EvTask)
+	if stolen {
+		b.Stat(stats.EvSteal)
+	}
+	for i := 0; i < p.RingStoresPerTask; i++ {
+		b.Add(rAddr, rStBase, rStOff)
+		b.St(rOne, rAddr, 0)
+		b.AddI(rStOff, rStOff, mem.LineSize)
+		b.AndI(rStOff, rStOff, ringBytes-1)
+	}
+}
+
+func buildWorker(p Profile, pid, nworkers, total int, asym Assignment, lay Layout, al *mem.Allocator) (*isa.Program, mem.Region) {
+	// Private regions sized for the worst case (a worker executing every
+	// task); address space is free. The store ring is returned as a warm
+	// region; the load region stays cold on purpose (the tasks' cold-miss
+	// phase). The pad staggers the rings' L2 set mapping — naturally
+	// aligned rings would all alias to the same sets and thrash the bank.
+	al.AllocLines("", 61*(pid+1))
+	storeRegion := al.Alloc("", ringBytes, mem.LineSize)
+	loadRegion := al.AllocLines("", total*(p.ColdLoadsPerTask+1)+64)
+
+	b := isa.NewBuilder(fmt.Sprintf("cilk.%s.w%d", p.Name, pid))
+	b.Li(rPid, int32(pid))
+	b.Li(rDeque, int32(lay.Deques)+int32(pid*mem.LineSize))
+	b.Li(rLock, int32(lay.Locks)+int32(pid*mem.LineSize))
+	b.Li(rTasks, int32(lay.Tasks)+int32(pid)*lay.TaskStride)
+	b.Li(rOne, 1)
+	b.Li(rMask, int32(nworkers-1))
+	b.Li(rDoneB, int32(lay.Done))
+	b.Li(rN, int32(nworkers))
+	b.Li(rTotal, int32(total))
+	b.Li(rStBase, int32(storeRegion))
+	b.Li(rStOff, 0)
+	b.Li(rLdCur, int32(loadRegion))
+	b.Li(rDone, 0)
+	b.Li(rStride, lay.TaskStride)
+	b.Li(rMyDone, int32(lay.Done)+int32(pid*mem.LineSize))
+
+	// ---- owner loop: take() from my own tail ----
+	// The candidate task value is read before the fence (it is discarded
+	// if the THE handshake detects a conflict), so the only post-fence
+	// shared access is the head read — on the same line as the tail, which
+	// is what keeps CilkApps' WeeFences confinable to one directory module
+	// (paper §7.2).
+	b.Label("ownloop")
+	b.Ld(rT, rDeque, 0) // t = T
+	b.AddI(rT, rT, -1)  // t--
+	b.ShlI(rAddr, rT, 2)
+	b.Add(rAddr, rAddr, rTasks)
+	b.Ld(rTask, rAddr, 0) // speculative task read
+	b.St(rT, rDeque, 0)   // T = t
+	b.Fence(asym.OwnerWeak)
+	b.Ld(rH, rDeque, 4) // h = H
+	b.Blt(rT, rH, "takeslow")
+	emitExecute(b, p, false)
+	b.Jmp("ownloop")
+
+	// ---- conflict/empty: restore and retry under the lock ----
+	b.Label("takeslow")
+	b.AddI(rTmp, rT, 1)
+	b.St(rTmp, rDeque, 0) // restore T
+	emitLock(b, rLock)
+	b.Ld(rT, rDeque, 0)
+	b.AddI(rT, rT, -1)
+	b.Ld(rH, rDeque, 4)
+	b.Blt(rT, rH, "takeempty")
+	b.St(rT, rDeque, 0)
+	b.ShlI(rAddr, rT, 2)
+	b.Add(rAddr, rAddr, rTasks)
+	b.Ld(rTask, rAddr, 0)
+	emitUnlock(b, rLock)
+	emitExecute(b, p, false)
+	b.Jmp("ownloop")
+	b.Label("takeempty")
+	emitUnlock(b, rLock)
+
+	// ---- thief loop: scan victims round robin ----
+	b.Label("stealinit")
+	b.Mov(rVict, rPid)
+	b.Label("stealscan")
+	b.AddI(rVict, rVict, 1)
+	b.And(rVict, rVict, rMask)
+	b.Beq(rVict, rPid, "checkdone")
+	b.ShlI(rVDeque, rVict, 5) // victim offset (line-strided)
+	b.AddI(rVLock, rVDeque, int32(lay.Locks))
+	b.AddI(rVDeque, rVDeque, int32(lay.Deques))
+	b.Mul(rVTasks, rVict, rStride)
+	b.AddI(rVTasks, rVTasks, int32(lay.Tasks))
+	// Peek before engaging the THE protocol (as Cilk-5 does): a deque
+	// that looks empty is skipped with plain loads — no lock, no fence.
+	b.Ld(rH, rVDeque, 4)
+	b.Ld(rT, rVDeque, 0)
+	b.Bge(rH, rT, "stealscan")
+	// steal(): lock, bump head, fence, read tail. As in take(), the task
+	// value is read before the fence and discarded on conflict.
+	emitLock(b, rVLock)
+	b.Ld(rH, rVDeque, 4) // h = H
+	b.ShlI(rAddr, rH, 2)
+	b.Add(rAddr, rAddr, rVTasks)
+	b.Ld(rTask, rAddr, 0) // speculative task read
+	b.AddI(rTmp, rH, 1)
+	b.St(rTmp, rVDeque, 4) // H = h+1
+	b.Fence(asym.ThiefWeak)
+	b.Ld(rT, rVDeque, 0) // t = T
+	b.Bge(rH, rT, "stealfail")
+	emitUnlock(b, rVLock)
+	emitExecute(b, p, true)
+	b.Jmp("stealinit")
+	b.Label("stealfail")
+	b.St(rH, rVDeque, 4) // restore H
+	emitUnlock(b, rVLock)
+	b.Jmp("stealscan")
+
+	// ---- termination: sum all done counters ----
+	b.Label("checkdone")
+	b.Li(rSum, 0)
+	b.Li(rScr, 0)
+	b.Label("sumloop")
+	b.ShlI(rAddr, rScr, 5)
+	b.Add(rAddr, rAddr, rDoneB)
+	b.Ld(rTmp, rAddr, 0)
+	b.Add(rSum, rSum, rTmp)
+	b.AddI(rScr, rScr, 1)
+	b.Blt(rScr, rN, "sumloop")
+	b.Bge(rSum, rTotal, "finish")
+	b.Work(200) // back off before rescanning
+	b.Jmp("stealinit")
+	b.Label("finish")
+	b.Halt()
+	return b.MustBuild(), mem.Region{Base: storeRegion, Size: ringBytes}
+}

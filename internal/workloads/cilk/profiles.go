@@ -1,0 +1,62 @@
+package cilk
+
+// Profile parameterizes one CilkApps application (Table 3 of the paper):
+// how many tasks each worker starts with, the task grain (modeled compute,
+// counted as instructions at IPC 1), the memory behavior of a task, and
+// therefore how much write-buffer pressure each take() fence sees.
+//
+// The per-app values are calibrated so the group reproduces the paper's
+// aggregate behavior under S+ (≈13% of time stalled on fences, ≈1 fence
+// per 1000 instructions, <0.5% of tasks stolen) with per-app variation in
+// the same direction as Fig. 8: fine-grained apps (bucket, fib, knapsack)
+// spend 20-30% on fence stall, coarse-grained ones (matmul, lu, cholesky)
+// much less.
+type Profile struct {
+	Name string
+	// TasksPerWorker seeds each worker's deque.
+	TasksPerWorker int
+	// GrainBase/GrainVar: task grain = Base + rand%Var cycles.
+	GrainBase, GrainVar int
+	// ColdLoadsPerTask is a serial chain of cache-missing loads (the
+	// task's memory-bound phase; contributes "other stall").
+	ColdLoadsPerTask int
+	// RingStoresPerTask are stores cycling a private L2-resident ring:
+	// they miss in the L1, so they are often still draining when the next
+	// take() fence executes — the source of the conventional fence's
+	// stall.
+	RingStoresPerTask int
+}
+
+// Apps is the CilkApps workload group (paper Table 3).
+var Apps = []Profile{
+	// bucket sort: very fine-grained bucket-insert tasks, store heavy.
+	{Name: "bucket", TasksPerWorker: 160, GrainBase: 550, GrainVar: 260, ColdLoadsPerTask: 1, RingStoresPerTask: 8},
+	// cholesky: coarse blocked factorization tasks.
+	{Name: "cholesky", TasksPerWorker: 60, GrainBase: 2400, GrainVar: 900, ColdLoadsPerTask: 3, RingStoresPerTask: 8},
+	// cilksort: merge-sort tasks, moderate grain, memory bound.
+	{Name: "cilksort", TasksPerWorker: 110, GrainBase: 900, GrainVar: 500, ColdLoadsPerTask: 3, RingStoresPerTask: 8},
+	// fft: butterfly stages, moderate grain, load heavy.
+	{Name: "fft", TasksPerWorker: 100, GrainBase: 1100, GrainVar: 400, ColdLoadsPerTask: 4, RingStoresPerTask: 8},
+	// fib: the classic tiny-task stress test: highest fence density.
+	{Name: "fib", TasksPerWorker: 220, GrainBase: 450, GrainVar: 160, ColdLoadsPerTask: 0, RingStoresPerTask: 8},
+	// heat: stencil rows, memory bound with long load chains.
+	{Name: "heat", TasksPerWorker: 90, GrainBase: 1000, GrainVar: 300, ColdLoadsPerTask: 5, RingStoresPerTask: 8},
+	// knapsack: branch-and-bound, fine-grained and irregular.
+	{Name: "knapsack", TasksPerWorker: 180, GrainBase: 500, GrainVar: 420, ColdLoadsPerTask: 1, RingStoresPerTask: 8},
+	// lu: blocked LU, coarse tasks.
+	{Name: "lu", TasksPerWorker: 70, GrainBase: 2100, GrainVar: 700, ColdLoadsPerTask: 3, RingStoresPerTask: 8},
+	// matmul: the coarsest tasks; fences are nearly free.
+	{Name: "matmul", TasksPerWorker: 50, GrainBase: 3200, GrainVar: 800, ColdLoadsPerTask: 2, RingStoresPerTask: 8},
+	// plu: pivoting LU, between lu and cilksort.
+	{Name: "plu", TasksPerWorker: 80, GrainBase: 1500, GrainVar: 600, ColdLoadsPerTask: 3, RingStoresPerTask: 8},
+}
+
+// AppByName returns the named profile.
+func AppByName(name string) (Profile, bool) {
+	for _, p := range Apps {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,318 @@
+// Package litmus builds the paper's motivating programs as simulated-ISA
+// code: the Dekker/store-buffering pattern (Figs. 1-3), the 3-thread
+// dependence cycle (Fig. 1e/f, Fig. 3c), the false- and true-sharing
+// interference cases (Fig. 4), and Lamport's Bakery algorithm (§4.3).
+//
+// Each builder returns one program per participating thread plus the
+// addresses of the shared variables, so tests and examples can inspect
+// outcomes in the functional store and in the final register state.
+package litmus
+
+import (
+	"asymfence/internal/isa"
+	"asymfence/internal/mem"
+)
+
+// FenceChoice selects the fence placed at a thread's ordering point.
+type FenceChoice uint8
+
+const (
+	// None omits the fence (used to demonstrate the SC violation).
+	None FenceChoice = iota
+	// Strong places an sf (conventional fence).
+	Strong
+	// Weak places a wf (behavior set by the machine's fence design).
+	Weak
+)
+
+func emitFence(b *isa.Builder, f FenceChoice) {
+	switch f {
+	case Strong:
+		b.SFence()
+	case Weak:
+		b.WFence()
+	}
+}
+
+// Registers used by the litmus programs.
+const (
+	rBase = isa.Reg(1) // shared-data base address
+	rTmp  = isa.Reg(2)
+	rTmp2 = isa.Reg(3)
+	rOne  = isa.Reg(4)
+	rOut  = isa.Reg(10) // observed value, read back by tests
+	rPriv = isa.Reg(11) // private cold-store cursor
+)
+
+// Idle returns a program that halts immediately (for unused cores).
+func Idle() *isa.Program {
+	return isa.NewBuilder("idle").Halt().MustBuild()
+}
+
+// SBLayout locates the store-buffering test's shared variables.
+type SBLayout struct {
+	X, Y mem.Addr
+}
+
+// SB builds the two-thread store-buffering (Dekker) pattern of Fig. 1d:
+//
+//	T0: st X=1 ; fence ; r = ld Y
+//	T1: st Y=1 ; fence ; r = ld X
+//
+// Each thread first warms both lines into its cache, then fills its write
+// buffer with coldStores stores to private lines (so the fence-protected
+// store drains slowly, reproducing the ~200-cycle conventional-fence
+// stalls the paper measures), then runs the racing pattern. The observed
+// value lands in register 10: an SC violation occurred iff both threads
+// read 0.
+func SB(al *mem.Allocator, f0, f1 FenceChoice, coldStores int) ([2]*isa.Program, SBLayout) {
+	return SBAsym(al, f0, f1, coldStores, coldStores)
+}
+
+// SBAsym is SB with per-thread write-buffer pressure: cold0/cold1 cold
+// stores precede each thread's racing store. Tests use an asymmetric
+// split (deep wf-side buffer, shallow sf side) to guarantee the fences'
+// windows overlap and the bounce machinery engages.
+func SBAsym(al *mem.Allocator, f0, f1 FenceChoice, cold0, cold1 int) ([2]*isa.Program, SBLayout) {
+	x := al.AllocLines("sb.x", 1)
+	y := al.AllocLines("sb.y", 1)
+	// Private cold lines, one region per thread, spaced a line apart.
+	p0 := al.AllocLines("sb.priv0", cold0+1)
+	p1 := al.AllocLines("sb.priv1", cold1+1)
+
+	build := func(name string, mine, other mem.Addr, priv mem.Addr, f FenceChoice, cold int) *isa.Program {
+		b := isa.NewBuilder(name)
+		// Warm both shared lines.
+		b.Li(rBase, int32(x))
+		b.Ld(rTmp, rBase, 0)
+		b.Li(rBase, int32(y))
+		b.Ld(rTmp, rBase, 0)
+		// Let the other thread finish warming.
+		b.Work(3000)
+		// Fill the write buffer with slow stores.
+		b.Li(rOne, 1)
+		b.Li(rPriv, int32(priv))
+		for i := 0; i < cold; i++ {
+			b.St(rOne, rPriv, int32(i*mem.LineSize))
+		}
+		// The racing store, the fence, the racing load.
+		b.Li(rBase, int32(mine))
+		b.St(rOne, rBase, 0)
+		emitFence(b, f)
+		b.Li(rBase, int32(other))
+		b.Ld(rOut, rBase, 0)
+		b.Halt()
+		return b.MustBuild()
+	}
+	return [2]*isa.Program{
+		build("sb.t0", x, y, p0, f0, cold0),
+		build("sb.t1", y, x, p1, f1, cold1),
+	}, SBLayout{X: x, Y: y}
+}
+
+// CycleLayout locates the 3-thread test's variables.
+type CycleLayout struct {
+	X, Y, Z mem.Addr
+}
+
+// ThreeThread builds the 3-thread dependence cycle of Fig. 1f / Fig. 3c:
+//
+//	T0: st X=1 ; fence ; r = ld Y
+//	T1: st Y=1 ; fence ; r = ld Z
+//	T2: st Z=1 ; fence ; r = ld X
+//
+// An SC violation occurred iff all three threads read 0.
+func ThreeThread(al *mem.Allocator, f [3]FenceChoice, coldStores int) ([3]*isa.Program, CycleLayout) {
+	x := al.AllocLines("c3.x", 1)
+	y := al.AllocLines("c3.y", 1)
+	z := al.AllocLines("c3.z", 1)
+	vars := [3]mem.Addr{x, y, z}
+	var progs [3]*isa.Program
+	for t := 0; t < 3; t++ {
+		priv := al.AllocLines("", coldStores+1)
+		b := isa.NewBuilder("c3.t")
+		for _, v := range vars {
+			b.Li(rBase, int32(v))
+			b.Ld(rTmp, rBase, 0)
+		}
+		b.Work(3000)
+		b.Li(rOne, 1)
+		b.Li(rPriv, int32(priv))
+		for i := 0; i < coldStores; i++ {
+			b.St(rOne, rPriv, int32(i*mem.LineSize))
+		}
+		b.Li(rBase, int32(vars[t]))
+		b.St(rOne, rBase, 0)
+		emitFence(b, f[t])
+		b.Li(rBase, int32(vars[(t+1)%3]))
+		b.Ld(rOut, rBase, 0)
+		b.Halt()
+		progs[t] = b.MustBuild()
+	}
+	return progs, CycleLayout{X: x, Y: y, Z: z}
+}
+
+// FalseSharingLayout locates the Fig. 4b variables: x and x' share a line,
+// y and y' share a line.
+type FalseSharingLayout struct {
+	X, XPrime, Y, YPrime mem.Addr
+}
+
+// FalseSharing builds the Fig. 4b pattern: two *unrelated* weak fences
+// whose pre-/post-fence accesses form a cycle only through false sharing:
+//
+//	T0: st X=1  ; wf ; r = ld Y
+//	T1: st Y'=1 ; wf ; r = ld X'
+//
+// where X/X' are different words of one line and Y/Y' different words of
+// another. Under WS+ the Order operation resolves the bouncing; under SW+
+// the Conditional Order completes because the sharing is false; under W+
+// the timeout/rollback path resolves it.
+func FalseSharing(al *mem.Allocator, f [2]FenceChoice, coldStores int) ([2]*isa.Program, FalseSharingLayout) {
+	lx := al.AllocLines("fs.linex", 1)
+	ly := al.AllocLines("fs.liney", 1)
+	lay := FalseSharingLayout{
+		X: lx, XPrime: lx + mem.WordSize,
+		Y: ly, YPrime: ly + mem.WordSize,
+	}
+	build := func(name string, st, ld mem.Addr, priv mem.Addr, f FenceChoice) *isa.Program {
+		b := isa.NewBuilder(name)
+		b.Li(rBase, int32(lx))
+		b.Ld(rTmp, rBase, 0)
+		b.Li(rBase, int32(ly))
+		b.Ld(rTmp, rBase, 0)
+		b.Work(3000)
+		b.Li(rOne, 1)
+		b.Li(rPriv, int32(priv))
+		for i := 0; i < coldStores; i++ {
+			b.St(rOne, rPriv, int32(i*mem.LineSize))
+		}
+		b.Li(rBase, int32(st))
+		b.St(rOne, rBase, 0)
+		emitFence(b, f)
+		b.Li(rBase, int32(ld))
+		b.Ld(rOut, rBase, 0)
+		b.Halt()
+		return b.MustBuild()
+	}
+	p0priv := al.AllocLines("", coldStores+1)
+	p1priv := al.AllocLines("", coldStores+1)
+	return [2]*isa.Program{
+		build("fs.t0", lay.X, lay.Y, p0priv, f[0]),
+		build("fs.t1", lay.YPrime, lay.XPrime, p1priv, f[1]),
+	}, lay
+}
+
+// BakeryLayout locates the Bakery algorithm's shared state.
+type BakeryLayout struct {
+	Choosing mem.Addr // one word per thread
+	Number   mem.Addr // one word per thread
+	Counter  mem.Addr // the critical-section counter
+}
+
+// Bakery builds Lamport's Bakery mutual-exclusion algorithm (paper §4.3,
+// Fig. 6) for n threads, each entering the critical section rounds times
+// and incrementing a shared counter non-atomically inside it. Mutual
+// exclusion holds iff the final counter equals n*rounds.
+//
+// weak[i] selects wf (true) or sf (false) for thread i's two fences; the
+// paper gives the prioritized thread a wf under WS+, or all threads wfs
+// under W+. Passing useFences=false omits the fences entirely, exposing
+// the SC violation.
+func Bakery(al *mem.Allocator, n, rounds int, weak []bool, useFences bool) ([]*isa.Program, BakeryLayout) {
+	// Each thread's flag/number on its own line to avoid incidental false
+	// sharing (the algorithm's correctness argument is about true races).
+	choosing := al.AllocLines("bakery.choosing", n)
+	number := al.AllocLines("bakery.number", n)
+	counter := al.AllocLines("bakery.counter", 1)
+	lay := BakeryLayout{Choosing: choosing, Number: number, Counter: counter}
+
+	const (
+		rPid   = isa.Reg(1)
+		rN     = isa.Reg(2)
+		rJ     = isa.Reg(5)
+		rVal   = isa.Reg(6)
+		rMax   = isa.Reg(7)
+		rAddr  = isa.Reg(8)
+		rMine  = isa.Reg(9)
+		rCnt   = isa.Reg(10)
+		rRound = isa.Reg(12)
+		rZero  = isa.R0
+	)
+	line := int32(mem.LineSize)
+
+	progs := make([]*isa.Program, n)
+	for pid := 0; pid < n; pid++ {
+		b := isa.NewBuilder("bakery")
+		fenceFor := func() {
+			if !useFences {
+				return
+			}
+			b.Fence(weak[pid])
+		}
+		b.Li(rPid, int32(pid))
+		b.Li(rN, int32(n))
+		b.Li(rRound, int32(rounds))
+		b.Li(rOne, 1)
+		b.Label("round")
+		// choosing[pid] = 1
+		b.Li(rAddr, int32(choosing)+int32(pid)*line)
+		b.St(rOne, rAddr, 0)
+		fenceFor() // others must see our intent before we scan numbers
+		// number[pid] = 1 + max(number[0..n-1])
+		b.Li(rMax, 0)
+		b.Li(rJ, 0)
+		b.Label("maxloop")
+		b.Li(rAddr, int32(number))
+		b.ShlI(rVal, rJ, 5) // j * LineSize
+		b.Add(rAddr, rAddr, rVal)
+		b.Ld(rVal, rAddr, 0)
+		b.Blt(rVal, rMax, "maxnext")
+		b.Mov(rMax, rVal)
+		b.Label("maxnext")
+		b.AddI(rJ, rJ, 1)
+		b.Blt(rJ, rN, "maxloop")
+		b.AddI(rMax, rMax, 1) // rMax = my number
+		b.Li(rMine, int32(number)+int32(pid)*line)
+		b.St(rMax, rMine, 0)
+		// choosing[pid] = 0
+		b.Li(rAddr, int32(choosing)+int32(pid)*line)
+		b.St(rZero, rAddr, 0)
+		fenceFor() // our number must be visible before we scan others
+		// for j != pid: wait until j is not choosing and we have priority
+		b.Li(rJ, 0)
+		b.Label("scan")
+		b.Beq(rJ, rPid, "scannext")
+		b.Label("waitchoosing")
+		b.Li(rAddr, int32(choosing))
+		b.ShlI(rVal, rJ, 5)
+		b.Add(rAddr, rAddr, rVal)
+		b.Ld(rVal, rAddr, 0)
+		b.Bne(rVal, rZero, "waitchoosing")
+		b.Label("waitnumber")
+		b.Li(rAddr, int32(number))
+		b.ShlI(rVal, rJ, 5)
+		b.Add(rAddr, rAddr, rVal)
+		b.Ld(rVal, rAddr, 0)
+		b.Beq(rVal, rZero, "scannext")  // j not competing
+		b.Blt(rVal, rMax, "waitnumber") // j has a smaller number: wait
+		b.Bne(rVal, rMax, "scannext")   // j's number larger: we go first
+		b.Blt(rJ, rPid, "waitnumber")   // tie: smaller pid goes first
+		b.Label("scannext")
+		b.AddI(rJ, rJ, 1)
+		b.Blt(rJ, rN, "scan")
+		// Critical section: counter++ (non-atomic on purpose).
+		b.Li(rAddr, int32(counter))
+		b.Ld(rCnt, rAddr, 0)
+		b.AddI(rCnt, rCnt, 1)
+		b.St(rCnt, rAddr, 0)
+		b.Stat(5) // stats.EvCritical
+		// Exit: number[pid] = 0.
+		b.St(rZero, rMine, 0)
+		b.AddI(rRound, rRound, -1)
+		b.Bne(rRound, rZero, "round")
+		b.Halt()
+		progs[pid] = b.MustBuild()
+	}
+	return progs, lay
+}

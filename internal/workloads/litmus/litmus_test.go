@@ -1,0 +1,101 @@
+package litmus_test
+
+import (
+	"testing"
+
+	"asymfence/internal/isa"
+	"asymfence/internal/mem"
+	"asymfence/internal/workloads/litmus"
+)
+
+func countOp(p *isa.Program, op isa.Op) int {
+	n := 0
+	for _, in := range p.Instrs {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSBShapes(t *testing.T) {
+	al := mem.NewAllocator(0x1000)
+	progs, lay := litmus.SB(al, litmus.Weak, litmus.Strong, 3)
+	if countOp(progs[0], isa.WFence) != 1 || countOp(progs[0], isa.SFence) != 0 {
+		t.Error("t0 fence flavor wrong")
+	}
+	if countOp(progs[1], isa.SFence) != 1 || countOp(progs[1], isa.WFence) != 0 {
+		t.Error("t1 fence flavor wrong")
+	}
+	if countOp(progs[0], isa.St) != 4 { // 3 cold + 1 racing
+		t.Errorf("t0 stores: %d", countOp(progs[0], isa.St))
+	}
+	if mem.LineOf(lay.X) == mem.LineOf(lay.Y) {
+		t.Error("X and Y share a line")
+	}
+}
+
+func TestSBNoFenceOmitsFences(t *testing.T) {
+	al := mem.NewAllocator(0x1000)
+	progs, _ := litmus.SB(al, litmus.None, litmus.None, 1)
+	for i, p := range progs {
+		if countOp(p, isa.SFence)+countOp(p, isa.WFence) != 0 {
+			t.Errorf("t%d has fences in the no-fence variant", i)
+		}
+	}
+}
+
+func TestFalseSharingLayout(t *testing.T) {
+	al := mem.NewAllocator(0x1000)
+	_, lay := litmus.FalseSharing(al, [2]litmus.FenceChoice{litmus.Weak, litmus.Weak}, 1)
+	if mem.LineOf(lay.X) != mem.LineOf(lay.XPrime) {
+		t.Error("X and X' must share a line (the Fig. 4b false-sharing setup)")
+	}
+	if lay.X == lay.XPrime {
+		t.Error("X and X' must be different words")
+	}
+	if mem.LineOf(lay.Y) != mem.LineOf(lay.YPrime) || lay.Y == lay.YPrime {
+		t.Error("Y/Y' layout wrong")
+	}
+}
+
+func TestThreeThreadShapes(t *testing.T) {
+	al := mem.NewAllocator(0x1000)
+	progs, _ := litmus.ThreeThread(al, [3]litmus.FenceChoice{litmus.Weak, litmus.Weak, litmus.Strong}, 2)
+	if countOp(progs[0], isa.WFence) != 1 || countOp(progs[2], isa.SFence) != 1 {
+		t.Error("3-thread fence assignment wrong")
+	}
+}
+
+func TestBakeryShapes(t *testing.T) {
+	al := mem.NewAllocator(0x1000)
+	progs, lay := litmus.Bakery(al, 4, 3, []bool{true, false, false, false}, true)
+	if len(progs) != 4 {
+		t.Fatalf("%d programs", len(progs))
+	}
+	if countOp(progs[0], isa.WFence) != 2 {
+		t.Errorf("prioritized thread: %d weak fences, want 2", countOp(progs[0], isa.WFence))
+	}
+	if countOp(progs[1], isa.SFence) != 2 {
+		t.Errorf("other thread: %d strong fences, want 2", countOp(progs[1], isa.SFence))
+	}
+	// Per-thread entries are line-strided to avoid incidental false
+	// sharing.
+	if lay.Number-lay.Choosing < 4*mem.LineSize {
+		t.Error("choosing array not line-strided")
+	}
+	// No-fence variant for the SCV demo (fresh allocator: symbols are
+	// unique per allocation space).
+	al2 := mem.NewAllocator(0x1000)
+	progs, _ = litmus.Bakery(al2, 2, 1, []bool{false, false}, false)
+	if countOp(progs[0], isa.SFence)+countOp(progs[0], isa.WFence) != 0 {
+		t.Error("fences present in the no-fence bakery")
+	}
+}
+
+func TestIdle(t *testing.T) {
+	p := litmus.Idle()
+	if len(p.Instrs) != 1 || p.Instrs[0].Op != isa.Halt {
+		t.Fatal("Idle should be a single halt")
+	}
+}

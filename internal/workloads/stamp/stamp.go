@@ -1,0 +1,43 @@
+// Package stamp models the six STAMP applications the paper evaluates
+// (genome, intruder, kmeans, labyrinth, ssca2, vacation — Table 3,
+// "distributed with RSTM") as transaction mixes over the TLRW substrate
+// (internal/workloads/stm), per the substitution policy of DESIGN.md §4.
+//
+// The paper's observations that the profiles encode (Fig. 11 / §7.1):
+// intruder is write-heavy, so W+ (which also weakens the write and commit
+// fences) gains far more than WS+; labyrinth has very few transactions and
+// barely moves; genome's stall is mostly non-fence; ssca2 runs many tiny
+// transactions; on average the group spends ≈13% of its time on fence
+// stall under S+, and sfs are about as frequent as wfs under WS+.
+package stamp
+
+import "asymfence/internal/workloads/stm"
+
+// Apps are the STAMP profiles. Iterations are per-thread transaction
+// counts for execution-time runs (Fig. 11); the experiment harness scales
+// them.
+var Apps = []stm.Profile{
+	// genome: segment matching; moderate read-mostly transactions with a
+	// lot of non-transactional work between them.
+	{Name: "genome", Locations: 2048, HotLocations: 16, ReadsPerTxn: 5, WritesPerTxn: 1, TxnWork: 60, BetweenWork: 700, Iterations: 60},
+	// intruder: packet reassembly; short, write-heavy transactions.
+	{Name: "intruder", Locations: 8192, HotLocations: 16, ReadsPerTxn: 2, WritesPerTxn: 5, TxnWork: 40, BetweenWork: 160, Iterations: 90},
+	// kmeans: cluster-center updates; small transactions, moderate work.
+	{Name: "kmeans", Locations: 1024, HotLocations: 16, ReadsPerTxn: 2, WritesPerTxn: 2, TxnWork: 40, BetweenWork: 300, Iterations: 80},
+	// labyrinth: very few, very long transactions — little to gain.
+	{Name: "labyrinth", Locations: 1024, HotLocations: 0, ReadsPerTxn: 4, WritesPerTxn: 4, TxnWork: 2500, BetweenWork: 500, Iterations: 12},
+	// ssca2: graph kernel; many tiny update transactions.
+	{Name: "ssca2", Locations: 2048, HotLocations: 16, ReadsPerTxn: 1, WritesPerTxn: 2, TxnWork: 10, BetweenWork: 120, Iterations: 120},
+	// vacation: travel reservations; mid-size read-dominated transactions.
+	{Name: "vacation", Locations: 2048, HotLocations: 16, ReadsPerTxn: 6, WritesPerTxn: 2, TxnWork: 80, BetweenWork: 250, Iterations: 60},
+}
+
+// ByName returns the named STAMP profile.
+func ByName(name string) (stm.Profile, bool) {
+	for _, p := range Apps {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return stm.Profile{}, false
+}

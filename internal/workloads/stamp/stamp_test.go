@@ -1,0 +1,86 @@
+package stamp_test
+
+import (
+	"testing"
+
+	"asymfence/internal/experiments"
+	"asymfence/internal/fence"
+	"asymfence/internal/stats"
+	"asymfence/internal/workloads/stamp"
+)
+
+func TestRegistry(t *testing.T) {
+	want := []string{"genome", "intruder", "kmeans", "labyrinth", "ssca2", "vacation"}
+	if len(stamp.Apps) != len(want) {
+		t.Fatalf("%d apps, want %d", len(stamp.Apps), len(want))
+	}
+	for i, name := range want {
+		if stamp.Apps[i].Name != name {
+			t.Errorf("app %d = %q, want %q", i, stamp.Apps[i].Name, name)
+		}
+		if _, ok := stamp.ByName(name); !ok {
+			t.Errorf("ByName(%q) missing", name)
+		}
+	}
+	if _, ok := stamp.ByName("quake"); ok {
+		t.Error("unknown app found")
+	}
+}
+
+// TestIntruderFavorsWPlus is the paper's Fig. 11 observation: intruder's
+// write-heavy transactions gain far more from W+ (which also weakens the
+// write and commit fences) than from WS+.
+func TestIntruderFavorsWPlus(t *testing.T) {
+	p, _ := stamp.ByName("intruder")
+	run := func(d fence.Design) int64 {
+		m, err := experiments.RunSTAMP(p, d, 8, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Cycles
+	}
+	base := run(fence.SPlus)
+	ws := run(fence.WSPlus)
+	w := run(fence.WPlus)
+	if w >= base {
+		t.Errorf("W+ (%d) not faster than S+ (%d) on intruder", w, base)
+	}
+	if w >= ws {
+		t.Errorf("W+ (%d) not faster than WS+ (%d) on write-heavy intruder", w, ws)
+	}
+}
+
+// TestLabyrinthBarelyMoves: very few, very long transactions — fence
+// optimizations cannot help much (paper: "labyrinth has very few
+// transactions in the first place").
+func TestLabyrinthBarelyMoves(t *testing.T) {
+	p, _ := stamp.ByName("labyrinth")
+	run := func(d fence.Design) int64 {
+		m, err := experiments.RunSTAMP(p, d, 8, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Cycles
+	}
+	base := run(fence.SPlus)
+	w := run(fence.WPlus)
+	if ratio := float64(w) / float64(base); ratio < 0.85 || ratio > 1.1 {
+		t.Errorf("labyrinth moved %.2fx under W+; expected near-flat", ratio)
+	}
+}
+
+func TestSTAMPCorrectnessUnderAllDesigns(t *testing.T) {
+	p, _ := stamp.ByName("ssca2")
+	for _, d := range fence.AllDesigns {
+		m, err := experiments.RunSTAMP(p, d, 4, 0.3)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if m.Commits == 0 {
+			t.Fatalf("%v: nothing committed", d)
+		}
+		if m.Agg.Events[stats.EvCommit] < m.Agg.Events[stats.EvWriteCommit] {
+			t.Fatalf("%v: more write commits than commits", d)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package stm
+
+// USTM is the RSTM microbenchmark group (ustm, paper Table 3): each
+// benchmark is a concurrent data structure driven by transactions that
+// look up, insert, or delete (50% lookups, 25% insertions, 25%
+// deletions). The profiles translate each structure into its TLRW access
+// pattern: how many locations a transaction read- and write-locks, over
+// how large a footprint, with how much computation around the accesses.
+//
+// Calibration targets (paper §7.1, Figs. 9-10 and Table 4): under S+ the
+// group spends ≈54% of its time on fence stall; fences run ≈5.7 per 1000
+// instructions; reads outnumber writes ≈3.5x.
+var USTM = []Profile{
+	// Counter: the maximum-contention extreme — one shared counter.
+	{Name: "Counter", Locations: 8, ReadsPerTxn: 1, WritesPerTxn: 1, TxnWork: 20, BetweenWork: 600},
+	// DList: doubly-linked list; updates touch neighbor pairs.
+	{Name: "DList", Locations: 4096, HotLocations: 32, ReadsPerTxn: 4, WritesPerTxn: 2, TxnWork: 60, BetweenWork: 200},
+	// Forest: several trees updated together; larger read sets.
+	{Name: "Forest", Locations: 4096, HotLocations: 32, ReadsPerTxn: 6, WritesPerTxn: 2, TxnWork: 60, BetweenWork: 200},
+	// Hash: near-ideal scaling — one bucket probe, rare conflicts.
+	{Name: "Hash", Locations: 4096, HotLocations: 32, ReadsPerTxn: 1, WritesPerTxn: 1, TxnWork: 60, BetweenWork: 200},
+	// List: long traversals — read-dominated.
+	{Name: "List", Locations: 4096, HotLocations: 32, ReadsPerTxn: 7, WritesPerTxn: 1, TxnWork: 60, BetweenWork: 200},
+	// MCAS: multi-word compare-and-swap — write-only transactions.
+	{Name: "MCAS", Locations: 4096, HotLocations: 32, ReadsPerTxn: 0, WritesPerTxn: 4, TxnWork: 60, BetweenWork: 200},
+	// ReadNWrite1: N reads, one write.
+	{Name: "ReadNWrite1", Locations: 4096, HotLocations: 32, ReadsPerTxn: 6, WritesPerTxn: 1, TxnWork: 60, BetweenWork: 200},
+	// ReadWriteN: N reads and N writes.
+	{Name: "ReadWriteN", Locations: 4096, HotLocations: 32, ReadsPerTxn: 4, WritesPerTxn: 4, TxnWork: 60, BetweenWork: 200},
+	// Tree: balanced-tree probes over a large footprint.
+	{Name: "Tree", Locations: 4096, HotLocations: 32, ReadsPerTxn: 5, WritesPerTxn: 1, TxnWork: 60, BetweenWork: 200},
+	// TreeOverwrite: tree probe then overwrite of the visited nodes.
+	{Name: "TreeOverwrite", Locations: 4096, HotLocations: 32, ReadsPerTxn: 5, WritesPerTxn: 3, TxnWork: 60, BetweenWork: 200},
+}
+
+// USTMByName returns the named microbenchmark profile.
+func USTMByName(name string) (Profile, bool) {
+	for _, p := range USTM {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,386 @@
+// Package stm implements the paper's software-transactional-memory
+// substrate: a TLRW-style eager read/write-lock STM (Dice & Shavit,
+// SPAA'10; paper §4.2) written in the simulated ISA, plus the ten RSTM
+// microbenchmarks (ustm) and profiles for the STAMP applications.
+//
+// Per shared location there is a lock object with per-thread reader flags
+// and per-thread writer-intent flags. The barriers follow the paper's
+// Fig. 5b pattern exactly — write your flag, fence, read the other side's
+// flags:
+//
+//	read(M,tid):  Lock(M).readers[tid] = 1 ; fence ; w = Lock(M).writers
+//	write(M,tid): Lock(M).writers[tid] = 1 ; fence ; r = Lock(M).readers
+//
+// The fences are load-bearing: without them TSO's store→load reordering
+// lets a reader and a writer (or two writers) miss each other's flags and
+// both proceed — an SC violation that the tests detect as lost counter
+// updates. Reads are more frequent and more time-critical than writes
+// (3.5x in the paper's workloads), so the asymmetric designs put a wf in
+// read() and an sf in write().
+//
+// Substitution note (DESIGN.md §4): RSTM's writer field is a single word
+// acquired with CAS; we use symmetric per-thread writer-intent flags so
+// that writer-writer mutual exclusion is also enforced by the
+// store→fence→load pattern under study rather than by an atomic that
+// would carry its own implicit fence.
+package stm
+
+import (
+	"fmt"
+
+	"asymfence/internal/fence"
+	"asymfence/internal/isa"
+	"asymfence/internal/mem"
+	"asymfence/internal/stats"
+)
+
+// Assignment selects the fence flavor per barrier, per the paper.
+type Assignment struct {
+	ReadWeak   bool // read-barrier fence
+	WriteWeak  bool // write-barrier fence
+	CommitWeak bool // commit fence (after the release stores)
+	// NoFences omits the barrier fences entirely. The TLRW handshake is
+	// then exposed to TSO's store→load reordering and loses updates —
+	// used by tests and examples to demonstrate the SC violation.
+	NoFences bool
+}
+
+// AssignmentFor returns the paper's assignment: S+ all strong; WS+/SW+
+// weak reads, strong writes; W+/Wee all weak.
+func AssignmentFor(d fence.Design) Assignment {
+	switch d {
+	case fence.SPlus:
+		return Assignment{}
+	case fence.WSPlus:
+		// The commit fence's only job is ordering release stores against
+		// the next transaction's barrier loads; reordering there causes
+		// only benign SCVs (spurious aborts), which the paper's §5.3
+		// explicitly says execute correctly under WS+ and W+. So WS+
+		// weakens the read and commit fences and keeps only the
+		// correctness-critical write-barrier sf.
+		return Assignment{ReadWeak: true, CommitWeak: true}
+	case fence.SWPlus:
+		// SW+ must keep the commit fence strong: weak commit fences group
+		// two wfs through the release stores, the benign-SCV pattern that
+		// deadlocks SW+'s Conditional Order (paper §5.3).
+		return Assignment{ReadWeak: true}
+	default:
+		return Assignment{ReadWeak: true, WriteWeak: true, CommitWeak: true}
+	}
+}
+
+// Profile parameterizes one transactional benchmark.
+type Profile struct {
+	Name string
+	// Locations is the number of lockable shared locations (power of 2).
+	Locations int
+	// ReadsPerTxn / WritesPerTxn: accesses per (read-write) transaction.
+	// Half of all transactions are lookups (reads only), matching the
+	// 50% lookup / 25% insert / 25% delete RSTM mix.
+	ReadsPerTxn, WritesPerTxn int
+	// HotLocations (power of 2, 0 = uniform) skews three quarters of the
+	// read accesses into the first HotLocations locations — the "upper
+	// levels" every traversal visits. Hot reader-flag lines are
+	// write-shared by every thread and ping-pong, which is what makes the
+	// read barrier's pre-fence store slow and its fence expensive, while
+	// the check loads stay read-shared and hit.
+	HotLocations int
+	// TxnWork is modeled computation inside the transaction; BetweenWork
+	// between transactions.
+	TxnWork, BetweenWork int32
+	// Iterations per thread; 0 means loop forever (throughput runs).
+	Iterations int
+}
+
+// Layout records the STM's shared state.
+//
+// Each location owns a two-line lock object (readers line + writer-intent
+// line) and a one-line data word. Lock objects are laid out contiguously,
+// so a transaction's pending flag stores usually span directory modules —
+// the source of WeeFence's ustm demotions (paper §7.2).
+type Layout struct {
+	Locks mem.Addr // Locations * 2 lines
+	Data  mem.Addr // Locations * 1 line
+	N     int
+}
+
+const maxAccesses = 9 // register budget: reads+writes <= 9
+
+// flagLines returns how many lines one side's per-thread flags occupy
+// (one word per thread, 8 words per line).
+func flagLines(nthreads int) int { return (nthreads + mem.WordsPerLine - 1) / mem.WordsPerLine }
+
+// lockStride is the byte size of one lock object: the readers flag lines
+// followed by the writer-intent flag lines.
+func lockStride(nthreads int) int32 { return int32(2 * flagLines(nthreads) * mem.LineSize) }
+
+// intentsOff is the byte offset of the writer-intent flags.
+func intentsOff(nthreads int) int32 { return int32(flagLines(nthreads) * mem.LineSize) }
+
+// lockShift returns log2(lockStride) for address computation in the ISA.
+func lockShift(nthreads int) int32 {
+	sh := int32(0)
+	for v := lockStride(nthreads); v > 1; v >>= 1 {
+		sh++
+	}
+	return sh
+}
+
+// LockAddr returns the lock object of location i.
+func (l Layout) LockAddr(i int) mem.Addr {
+	return l.Locks + mem.Addr(i)*mem.Addr(lockStride(l.N))
+}
+
+// DataAddr returns the data word of location i.
+func (l Layout) DataAddr(i int) mem.Addr { return l.Data + mem.Addr(i*mem.LineSize) }
+
+// Workload is a built STM run.
+type Workload struct {
+	Profile Profile
+	Progs   []*isa.Program
+	Layout  Layout
+	// WarmRegions should be preloaded into the L2 (sim.Config.WarmRegions):
+	// the lock table and data of a structure that a real run would have
+	// built long before the measured region.
+	WarmRegions []mem.Region
+}
+
+// Register conventions.
+const (
+	rRdOff = isa.Reg(1) // my reader-flag offset within a lock (tid*4)
+	rWrOff = isa.Reg(2) // my writer-intent offset (32 + tid*4)
+	rLCG   = isa.Reg(3) // pseudo-random state
+	rOne   = isa.Reg(4)
+	rT1    = isa.Reg(5)
+	rT2    = isa.Reg(6)
+	rT3    = isa.Reg(7)
+	rAddr  = isa.Reg(8)
+	rIter  = isa.Reg(9)
+	rLock0 = isa.Reg(10) // rLock0..rLock0+8: per-access lock base
+	rData0 = isa.Reg(20) // rData0..rData0+8: per-access data address
+	rNT    = isa.Reg(30) // thread count
+	rWork  = isa.Reg(31) // work-loop scratch
+)
+
+// Build lays out the STM state, marks it shared, and assembles one
+// program per thread.
+func Build(p Profile, nthreads int, asym Assignment, seed uint64, al *mem.Allocator, store *mem.Store, privacy *mem.Privacy) *Workload {
+	if p.Locations&(p.Locations-1) != 0 || p.Locations == 0 {
+		panic("stm: Locations must be a power of two")
+	}
+	if p.ReadsPerTxn+p.WritesPerTxn > maxAccesses {
+		panic("stm: too many accesses per transaction")
+	}
+	if nthreads&(nthreads-1) != 0 {
+		panic("stm: thread count must be a power of two (lock-object addressing shifts)")
+	}
+	stride := mem.Addr(lockStride(nthreads))
+	lay := Layout{
+		Locks: al.Alloc(p.Name+".locks", mem.Addr(p.Locations)*stride, mem.LineSize),
+		Data:  al.AllocLines(p.Name+".data", p.Locations),
+		N:     nthreads,
+	}
+	if privacy != nil {
+		privacy.MarkShared(lay.Locks, mem.Addr(p.Locations)*stride)
+		privacy.MarkShared(lay.Data, mem.Addr(p.Locations*mem.LineSize))
+	}
+	wl := &Workload{Profile: p, Layout: lay}
+	wl.WarmRegions = append(wl.WarmRegions,
+		mem.Region{Base: lay.Locks, Size: mem.Addr(p.Locations) * stride},
+		mem.Region{Base: lay.Data, Size: mem.Addr(p.Locations * mem.LineSize)},
+	)
+	for t := 0; t < nthreads; t++ {
+		wl.Progs = append(wl.Progs, buildThread(p, t, nthreads, asym, lay, seed))
+	}
+	return wl
+}
+
+func buildThread(p Profile, tid, nthreads int, asym Assignment, lay Layout, seed uint64) *isa.Program {
+	b := isa.NewBuilder(fmt.Sprintf("stm.%s.t%d", p.Name, tid))
+	// A thread's flag word: line tid/8 of its side, word tid%8.
+	flagOff := int32((tid/mem.WordsPerLine)*mem.LineSize + (tid%mem.WordsPerLine)*4)
+	b.Li(rRdOff, flagOff)
+	b.Li(rWrOff, intentsOff(nthreads)+flagOff)
+	b.Li(rLCG, int32(uint32(seed*2654435761+uint64(tid)*40503+12345)|1))
+	b.Li(rOne, 1)
+	b.Li(rNT, int32(nthreads))
+	b.Li(rIter, int32(p.Iterations))
+	for i := 0; i < p.ReadsPerTxn+p.WritesPerTxn; i++ {
+		// Initialize access registers so the shared abort path can
+		// harmlessly "release" slots that were never acquired this txn.
+		b.Li(rLock0+isa.Reg(i), int32(lay.LockAddr(0)))
+		b.Li(rData0+isa.Reg(i), int32(lay.DataAddr(0)))
+	}
+
+	b.Label("txn")
+	// Half the transactions are lookups: branch on an LCG bit.
+	b.LCG(rLCG, rT1)
+	b.ShrI(rT1, rLCG, 13)
+	b.AndI(rT1, rT1, 1)
+	b.Beq(rT1, isa.R0, "readonly")
+
+	emitTxnBody(b, p, tid, asym, lay, true)
+	b.Jmp("txnend")
+	b.Label("readonly")
+	emitTxnBody(b, p, tid, asym, lay, false)
+	b.Label("txnend")
+	if p.BetweenWork > 0 {
+		b.WorkLoop(p.BetweenWork, rWork)
+	}
+	if p.Iterations > 0 {
+		b.AddI(rIter, rIter, -1)
+		b.Bne(rIter, isa.R0, "txn")
+		b.Halt()
+	} else {
+		b.Jmp("txn")
+	}
+	return b.MustBuild()
+}
+
+// emitTxnBody emits one transaction attempt: the read barriers, then (for
+// writer transactions) the write barriers, the data accesses, the commit
+// releases, and a shared abort/backoff/retry path.
+func emitTxnBody(b *isa.Builder, p Profile, tid int, asym Assignment, lay Layout, writer bool) {
+	reads := p.ReadsPerTxn
+	writes := 0
+	if writer {
+		writes = p.WritesPerTxn
+	}
+	total := reads + writes
+	retry := b.NewLabel("retry")
+	abort := b.NewLabel("abort")
+	done := b.NewLabel("commit")
+	b.Label(retry)
+
+	// Pick this attempt's locations and cache their lock/data addresses.
+	// Read accesses are skewed into the hot set (structure roots).
+	for i := 0; i < total; i++ {
+		b.LCG(rLCG, rT1)
+		b.ShrI(rT1, rLCG, 10)
+		b.AndI(rT1, rT1, int32(p.Locations-1)) // loc index
+		if p.HotLocations > 0 && i < reads {
+			skip := b.NewLabel("cold")
+			b.ShrI(rT2, rLCG, 23)
+			b.AndI(rT2, rT2, 1)
+			b.Bne(rT2, isa.R0, skip) // half of the reads go to the hot set
+			b.AndI(rT1, rT1, int32(p.HotLocations-1))
+			b.Label(skip)
+		} else if p.HotLocations > 0 && p.Locations > 2*p.HotLocations {
+			// Writers stay out of the hot set (structure updates mostly
+			// touch the leaves), keeping genuine all-weak deadlocks rare
+			// under W+ as in the paper's workloads.
+			b.AndI(rT1, rT1, int32(p.Locations-1))
+			b.Li(rT2, int32(p.HotLocations))
+			b.Or(rT1, rT1, rT2)
+		}
+		b.ShlI(rT2, rT1, lockShift(lay.N)) // loc * lockStride
+		b.AddI(rLock0+isa.Reg(i), rT2, int32(lay.Locks))
+		b.ShlI(rT2, rT1, 5) // loc * LineSize
+		b.AddI(rData0+isa.Reg(i), rT2, int32(lay.Data))
+	}
+
+	// Read barriers (paper Fig. 5b): set my reader flag, fence, check the
+	// writer intents, then read the data.
+	for i := 0; i < reads; i++ {
+		lk := rLock0 + isa.Reg(i)
+		b.Add(rAddr, lk, rRdOff)
+		b.St(rOne, rAddr, 0) // readers[tid] = 1
+		if !asym.NoFences {
+			b.Fence(asym.ReadWeak)
+		}
+		emitCheckFlags(b, lk, intentsOff(lay.N), lay.N, -1, abort)
+		_ = tid
+		b.Ld(rT3, rData0+isa.Reg(i), 0) // transactional read
+	}
+
+	// Write barriers: set my writer intent, fence, check the other writer
+	// intents (writer-writer Dekker) and all reader flags except my own
+	// (read-lock upgrade is allowed).
+	for j := 0; j < writes; j++ {
+		i := reads + j
+		lk := rLock0 + isa.Reg(i)
+		b.Add(rAddr, lk, rWrOff)
+		b.St(rOne, rAddr, 0) // writers[tid] = 1
+		if !asym.NoFences {
+			b.Fence(asym.WriteWeak)
+		}
+		emitCheckFlags(b, lk, intentsOff(lay.N), lay.N, tid, abort)
+		emitCheckFlags(b, lk, 0, lay.N, tid, abort)
+	}
+
+	// Data writes (eager, in place, after all locks are held).
+	for j := 0; j < writes; j++ {
+		da := rData0 + isa.Reg(reads+j)
+		b.Ld(rT3, da, 0)
+		b.AddI(rT3, rT3, 1)
+		b.St(rT3, da, 0)
+	}
+
+	if p.TxnWork > 0 {
+		b.WorkLoop(p.TxnWork, rWork)
+	}
+
+	// Commit: release every flag this transaction set.
+	for i := 0; i < reads; i++ {
+		b.Add(rAddr, rLock0+isa.Reg(i), rRdOff)
+		b.St(isa.R0, rAddr, 0)
+	}
+	for j := 0; j < writes; j++ {
+		b.Add(rAddr, rLock0+isa.Reg(reads+j), rWrOff)
+		b.St(isa.R0, rAddr, 0)
+	}
+	// Commit fence (paper §4.2: "there are fences when threads read a
+	// variable, write a variable, and commit a transaction"): orders the
+	// releases before the next transaction's barrier loads.
+	if !asym.NoFences {
+		b.Fence(asym.CommitWeak)
+	}
+	b.Stat(stats.EvCommit)
+	if writer && writes > 0 {
+		b.Stat(stats.EvWriteCommit)
+	}
+	b.Jmp(done)
+
+	// Abort: release everything (slots not acquired this attempt hold
+	// lock 0 with our flags already clear — writing 0 again is harmless),
+	// randomized backoff, retry.
+	b.Label(abort)
+	for i := 0; i < total; i++ {
+		off := rRdOff
+		if i >= reads {
+			off = rWrOff
+		}
+		b.Add(rAddr, rLock0+isa.Reg(i), off)
+		b.St(isa.R0, rAddr, 0)
+	}
+	// Abort fence: like the commit fence, it keeps the release stores out
+	// of the next attempt's read-barrier fence group (avoiding the
+	// all-weak benign-SCV groups of paper §5.3 that deadlock SW+).
+	if !asym.NoFences {
+		b.Fence(asym.CommitWeak)
+	}
+	b.Stat(stats.EvAbort)
+	b.LCG(rLCG, rT1)
+	b.ShrI(rT1, rLCG, 8)
+	b.AndI(rT1, rT1, 255)
+	b.AddI(rT1, rT1, 32)
+	b.WorkR(rT1) // randomized backoff breaks symmetric-abort livelock
+	b.Jmp(retry)
+
+	b.Label(done)
+}
+
+// emitCheckFlags loads the n flag words at lockReg+base and branches to
+// abortLabel if any is set, skipping thread skipT's flag (-1 to check
+// all). The flags share one line, so this is one potential miss plus
+// hits.
+func emitCheckFlags(b *isa.Builder, lockReg isa.Reg, base int32, n, skipT int, abortLabel string) {
+	for t := 0; t < n; t++ {
+		if t == skipT {
+			continue
+		}
+		off := base + int32((t/mem.WordsPerLine)*mem.LineSize+(t%mem.WordsPerLine)*4)
+		b.Ld(rT1, lockReg, off)
+		b.Bne(rT1, isa.R0, abortLabel)
+	}
+}

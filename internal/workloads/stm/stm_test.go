@@ -1,0 +1,154 @@
+package stm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"asymfence/internal/fence"
+	"asymfence/internal/mem"
+	"asymfence/internal/sim"
+	"asymfence/internal/stats"
+	"asymfence/internal/workloads/stm"
+)
+
+func buildAndRun(t *testing.T, p stm.Profile, design fence.Design, asym stm.Assignment, ncores int) (*sim.Machine, *sim.Result, *stm.Workload) {
+	t.Helper()
+	al := mem.NewAllocator(0x1000)
+	store := mem.NewStore()
+	privacy := mem.NewPrivacy()
+	wl := stm.Build(p, ncores, asym, 7, al, store, privacy)
+	m, err := sim.New(sim.Config{
+		NCores: ncores, Design: design, Privacy: privacy, MaxCycles: 100_000_000,
+		WarmRegions: wl.WarmRegions,
+	}, wl.Progs, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("%s under %v: %v (cycle %d)", p.Name, design, err, m.Cycle())
+	}
+	return m, res, wl
+}
+
+// sumData totals the data words (each committed write access increments
+// its location by one).
+func sumData(m *sim.Machine, wl *stm.Workload) uint64 {
+	var sum uint64
+	for i := 0; i < wl.Profile.Locations; i++ {
+		sum += uint64(m.Store().Load(wl.Layout.DataAddr(i)))
+	}
+	return sum
+}
+
+// TestTLRWNoLostUpdates is the STM correctness invariant under every
+// design: the barrier fences make the reader/writer flag handshake
+// Dekker-correct, so writer transactions are mutually excluded per
+// location and no increment is lost.
+func TestTLRWNoLostUpdates(t *testing.T) {
+	for _, d := range fence.AllDesigns {
+		for _, name := range []string{"Counter", "ReadWriteN"} {
+			p, _ := stm.USTMByName(name)
+			p.Iterations = 60
+			m, res, wl := buildAndRun(t, p, d, stm.AssignmentFor(d), 4)
+			want := res.Agg().Events[stats.EvWriteCommit] * uint64(p.WritesPerTxn)
+			if got := sumData(m, wl); got != want {
+				t.Errorf("%v/%s: data sum %d, want %d (lost updates)", d, name, got, want)
+			}
+		}
+	}
+}
+
+// TestTLRWWithoutFencesLosesUpdates demonstrates the SC violation the
+// fences exist to prevent (paper §4.2): without them, conflicting
+// transactions miss each other's flags and updates are lost.
+func TestTLRWWithoutFencesLosesUpdates(t *testing.T) {
+	p, _ := stm.USTMByName("Counter")
+	p.Iterations = 250
+	m, res, wl := buildAndRun(t, p, fence.SPlus, stm.Assignment{NoFences: true}, 4)
+	want := res.Agg().Events[stats.EvWriteCommit] * uint64(p.WritesPerTxn)
+	if got := sumData(m, wl); got == want {
+		t.Skip("race did not materialize in this run (timing-dependent)")
+	}
+}
+
+// TestWeakReadBarrierSpeedsUpThroughput checks the Fig. 9 direction:
+// the asymmetric designs commit more transactions per cycle than S+.
+func TestWeakReadBarrierSpeedsUpThroughput(t *testing.T) {
+	p, _ := stm.USTMByName("List")
+	p.Iterations = 80
+	_, base, _ := buildAndRun(t, p, fence.SPlus, stm.AssignmentFor(fence.SPlus), 4)
+	baseRate := float64(base.Agg().Events[stats.EvCommit]) / float64(base.Cycles)
+	for _, d := range []fence.Design{fence.WSPlus, fence.WPlus} {
+		_, res, _ := buildAndRun(t, p, d, stm.AssignmentFor(d), 4)
+		rate := float64(res.Agg().Events[stats.EvCommit]) / float64(res.Cycles)
+		if rate <= baseRate {
+			t.Errorf("%v: throughput %.5f txn/cycle not above S+ %.5f", d, rate, baseRate)
+		}
+	}
+}
+
+// TestUSTMFenceStallDominatesUnderSPlus checks the group's S+
+// characterization direction (paper: ≈54%% of ustm time is fence stall).
+func TestUSTMFenceStallDominatesUnderSPlus(t *testing.T) {
+	p, _ := stm.USTMByName("ReadNWrite1")
+	p.Iterations = 80
+	_, res, _ := buildAndRun(t, p, fence.SPlus, stm.AssignmentFor(fence.SPlus), 8)
+	a := res.Agg()
+	frac := float64(a.FenceStallCycles) / float64(a.TotalCycles())
+	if frac < 0.25 {
+		t.Errorf("S+ fence-stall fraction %.2f unexpectedly low for ustm", frac)
+	}
+}
+
+// TestWeeDemotesManyUSTMFences checks the paper's §7.2 observation: for
+// ustm, a large share of WeeFences cannot confine their pending sets to
+// one directory module and execute as strong fences.
+func TestWeeDemotesManyUSTMFences(t *testing.T) {
+	p, _ := stm.USTMByName("ReadWriteN")
+	p.Iterations = 80
+	_, res, _ := buildAndRun(t, p, fence.Wee, stm.AssignmentFor(fence.Wee), 8)
+	a := res.Agg()
+	tot := a.WFences + a.DemotedWFences
+	if tot == 0 {
+		t.Fatal("no weak fences executed")
+	}
+	frac := float64(a.DemotedWFences) / float64(tot)
+	if frac < 0.15 {
+		t.Errorf("Wee demoted only %.1f%% of ustm fences; expected a substantial share", 100*frac)
+	}
+	fmt.Printf("Wee ustm demotion rate: %.1f%%\n", 100*frac)
+}
+
+// TestTLRWSixteenThreads exercises the multi-line flag layout used by the
+// Fig. 12 scalability runs (16/32 cores need two/four flag lines per
+// side): correctness must hold and flags must not alias.
+func TestTLRWSixteenThreads(t *testing.T) {
+	p, _ := stm.USTMByName("ReadWriteN")
+	p.Iterations = 20
+	m, res, wl := buildAndRun(t, p, fence.WPlus, stm.AssignmentFor(fence.WPlus), 16)
+	want := res.Agg().Events[stats.EvWriteCommit] * uint64(p.WritesPerTxn)
+	if got := sumData(m, wl); got != want {
+		t.Fatalf("16 threads: data sum %d, want %d (flag aliasing?)", got, want)
+	}
+}
+
+// TestLockLayoutGeometry pins the lock-object geometry the programs
+// compute with shifts: stride and intent offsets must scale with the
+// thread count and stay power-of-two addressable.
+func TestLockLayoutGeometry(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		p, _ := stm.USTMByName("Hash")
+		al := mem.NewAllocator(0x1000)
+		store := mem.NewStore()
+		wl := stm.Build(p, n, stm.AssignmentFor(fence.SPlus), 1, al, store, nil)
+		stride := uint32(wl.Layout.LockAddr(1) - wl.Layout.LockAddr(0))
+		if stride&(stride-1) != 0 {
+			t.Errorf("n=%d: lock stride %d not a power of two", n, stride)
+		}
+		wantLines := 2 * ((n + 7) / 8)
+		if stride != uint32(wantLines*mem.LineSize) {
+			t.Errorf("n=%d: stride %d, want %d lines", n, stride, wantLines)
+		}
+	}
+}
