@@ -1,0 +1,37 @@
+# Developer checks for the asymfence simulator. `make check` is the
+# everything gate; individual targets below.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race smoke bench
+
+check: fmt vet build test smoke
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The simulator is single-goroutine by design (one deterministic cycle
+# loop; no goroutines anywhere in internal/). The race target exists to
+# keep it that way: it must stay trivially green.
+race:
+	$(GO) test -race ./...
+
+# Quick end-to-end sanity: the headline experiment at reduced scale.
+smoke:
+	$(GO) run ./cmd/asymsim -scale 0.1 -horizon 20000 headline
+
+# Perf snapshot of every (workload, design) pair -> BENCH_<date>.json.
+bench:
+	$(GO) run ./cmd/asymsim bench

@@ -128,6 +128,11 @@ type Result = sim.Result
 // (e.g. an all-weak fence group under a design without recovery).
 var ErrDeadlock = sim.ErrDeadlock
 
+// DeadlockError is the typed error wrapping ErrDeadlock: it carries the
+// deadlock cycle, every unfinished core's pipeline state, and the
+// directory/mesh occupancy. Recover it with errors.As.
+type DeadlockError = sim.DeadlockError
+
 // NewMachine builds a machine running programs[i] on core i.
 func NewMachine(cfg Config, programs []*Program, store *Store) (*Machine, error) {
 	sc := sim.Config{

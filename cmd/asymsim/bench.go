@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"asymfence"
+)
+
+// benchRow is one (workload, design) data point of the snapshot.
+type benchRow struct {
+	Group  string `json:"group"`
+	App    string `json:"app"`
+	Design string `json:"design"`
+	// Cycles is the execution time (execution-time groups).
+	Cycles int64 `json:"cycles"`
+	// Throughput is committed transactions per million cycles
+	// (throughput groups; 0 elsewhere).
+	Throughput float64 `json:"throughput"`
+	// FenceStall is the fence-stall fraction of counted core cycles.
+	FenceStall float64 `json:"fence_stall"`
+}
+
+// benchFile is the BENCH_<date>.json layout.
+type benchFile struct {
+	Date    string     `json:"date"`
+	Cores   int        `json:"cores"`
+	Scale   float64    `json:"scale"`
+	Horizon int64      `json:"horizon"`
+	Rows    []benchRow `json:"rows"`
+}
+
+// benchCmd handles `asymsim bench`: every workload under every design
+// at a fixed quick scale, written as machine-readable JSON so future
+// changes have a perf trajectory to compare against.
+func benchCmd(args []string) int {
+	fs := flag.NewFlagSet("asymsim bench", flag.ExitOnError)
+	cores := fs.Int("cores", 8, "core count (power of two)")
+	scale := fs.Float64("scale", 0.25, "execution-time run scale")
+	horizon := fs.Int64("horizon", 40_000, "throughput-run length in cycles")
+	out := fs.String("out", "", "output file (default BENCH_<date>.json)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: asymsim bench [flags]\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	designs := append(asymfence.AllDesigns, asymfence.CFenceDesign)
+	bf := benchFile{
+		Date:    time.Now().Format("2006-01-02"),
+		Cores:   *cores,
+		Scale:   *scale,
+		Horizon: *horizon,
+	}
+	for _, group := range asymfence.WorkloadGroups {
+		for _, app := range asymfence.WorkloadApps(group) {
+			for _, d := range designs {
+				var (
+					m   *asymfence.WorkloadMeasurement
+					err error
+				)
+				switch group {
+				case "cilk":
+					m, err = asymfence.RunCilkApp(app, d, *cores, *scale)
+				case "ustm":
+					m, err = asymfence.RunUSTMBenchmark(app, d, *cores, *horizon)
+				case "stamp":
+					m, err = asymfence.RunSTAMPApp(app, d, *cores, *scale)
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "asymsim bench:", err)
+					return 1
+				}
+				row := benchRow{
+					Group: group, App: app, Design: d.String(),
+					Cycles: m.Cycles, FenceStall: m.FenceStall,
+				}
+				if group == "ustm" {
+					row.Throughput = m.Throughput()
+				}
+				bf.Rows = append(bf.Rows, row)
+				fmt.Fprintf(os.Stderr, "asymsim bench: %s:%s %-8v cycles=%d\n", group, app, d, m.Cycles)
+			}
+		}
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", bf.Date)
+	}
+	data, err := json.MarshalIndent(&bf, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asymsim bench:", err)
+		return 1
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "asymsim bench:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "asymsim bench: wrote %d rows to %s\n", len(bf.Rows), path)
+	return 0
+}

@@ -1,8 +1,13 @@
-// Command asymsim regenerates the paper's evaluation artifacts.
+// Command asymsim regenerates the paper's evaluation artifacts and
+// provides single-run observability tooling.
 //
 // Usage:
 //
-//	asymsim [flags] <experiment>
+//	asymsim [flags] <experiment>           regenerate a paper artifact
+//	asymsim -list                          list experiment ids
+//	asymsim [flags] run <group>:<app>      one workload under every design
+//	asymsim trace <group>:<app> [flags]    traced run (Perfetto/JSONL export)
+//	asymsim bench [flags]                  machine-readable perf snapshot
 //
 // where <experiment> is one of fig8, fig9, fig10, fig11, fig12, table4,
 // headline, or all. Each prints the same rows/series the paper reports
@@ -11,6 +16,20 @@
 //	asymsim fig8                 # CilkApps execution time, 8 cores
 //	asymsim -scale 0.25 fig11    # quick STAMP run
 //	asymsim -md all > results.md # everything, as markdown
+//
+// The trace subcommand records the cycle-level event stream of one
+// (workload, design) run — fence lifecycle, write-buffer bounces,
+// directory transactions, mesh packets — plus per-core interval
+// metrics, and exports Chrome trace_event JSON (open in
+// ui.perfetto.dev) or JSON Lines. See OBSERVABILITY.md for the schema.
+//
+//	asymsim trace cilk:fib -trace-out /tmp/t.json
+//	asymsim trace ustm:List -design Wee -format jsonl -interval 500
+//
+// The bench subcommand runs every workload under every design at a
+// fixed quick scale and writes cycles/throughput per (workload, design)
+// to BENCH_<date>.json, giving later changes a perf trajectory to
+// compare against.
 package main
 
 import (
@@ -22,18 +41,36 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "trace":
+			os.Exit(traceCmd(os.Args[2:]))
+		case "bench":
+			os.Exit(benchCmd(os.Args[2:]))
+		}
+	}
+
 	cores := flag.Int("cores", 8, "core count (power of two; Table 2 default is 8)")
 	scale := flag.Float64("scale", 1.0, "execution-time run scale (1.0 = full)")
 	horizon := flag.Int64("horizon", 0, "throughput-run length in cycles (0 = default)")
 	md := flag.Bool("md", false, "emit markdown tables")
+	list := flag.Bool("list", false, "list experiment ids with descriptions and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: asymsim [flags] <experiment>\n"+
-			"       asymsim [flags] run <group>:<app>   (e.g. run cilk:fib, run ustm:List)\n\n"+
+			"       asymsim [flags] run <group>:<app>     (e.g. run cilk:fib, run ustm:List)\n"+
+			"       asymsim trace <group>:<app> [flags]   (asymsim trace -h for flags)\n"+
+			"       asymsim bench [flags]                 (asymsim bench -h for flags)\n\n"+
 			"experiments: %v, all\n\nflags:\n",
 			asymfence.ExperimentIDs)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *list {
+		for _, e := range asymfence.Experiments() {
+			fmt.Printf("  %-9s %s\n", e.ID, e.Description)
+		}
+		return
+	}
 	if maybeRun(flag.Args(), *cores, *scale, *horizon) {
 		return
 	}
@@ -42,9 +79,20 @@ func main() {
 		os.Exit(2)
 	}
 	id := flag.Arg(0)
+	// Validate the id up front so a typo fails before any table of a
+	// multi-experiment run has been printed.
+	if !validExperiment(id) {
+		fmt.Fprintf(os.Stderr, "asymsim: unknown experiment %q (valid: %v, or \"all\"; see -list)\n",
+			id, asymfence.ExperimentIDs)
+		os.Exit(2)
+	}
 	tables, err := asymfence.RunExperiment(id, asymfence.ExperimentOptions{
 		Cores: *cores, Scale: *scale, Horizon: *horizon,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asymsim:", err)
+		os.Exit(1)
+	}
 	for _, t := range tables {
 		if *md {
 			fmt.Println(t.Markdown())
@@ -52,8 +100,16 @@ func main() {
 			fmt.Println(t.String())
 		}
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "asymsim:", err)
-		os.Exit(1)
+}
+
+func validExperiment(id string) bool {
+	if id == "all" {
+		return true
 	}
+	for _, e := range asymfence.ExperimentIDs {
+		if id == e {
+			return true
+		}
+	}
+	return false
 }

@@ -37,6 +37,26 @@ func (o *ExperimentOptions) defaults() {
 // evaluation, in paper order.
 var ExperimentIDs = []string{"fig8", "fig9", "fig10", "fig11", "fig12", "table4", "headline"}
 
+// ExperimentInfo names one regenerable artifact.
+type ExperimentInfo struct {
+	ID          string
+	Description string
+}
+
+// Experiments returns every experiment id with a one-line description
+// of the paper artifact it regenerates, in paper order.
+func Experiments() []ExperimentInfo {
+	return []ExperimentInfo{
+		{"fig8", "CilkApps execution time under S+, WS+, W+ and Wee (Fig. 8)"},
+		{"fig9", "ustm transactional throughput per design (Fig. 9)"},
+		{"fig10", "ustm cycles per committed transaction, cycle breakdown (Fig. 10)"},
+		{"fig11", "STAMP execution time per design (Fig. 11)"},
+		{"fig12", "scalability of the mean speedups across core counts (Fig. 12)"},
+		{"table4", "fence/bounce/traffic characterization per group (Table 4)"},
+		{"headline", "the paper's headline mean speedup comparison (abstract)"},
+	}
+}
+
 // RunExperiment regenerates one of the paper's evaluation artifacts and
 // returns its table(s). Valid ids are listed in ExperimentIDs; DESIGN.md
 // §5 maps each to its paper figure/table and reference result.

@@ -3,10 +3,13 @@ package coherence
 import (
 	"container/heap"
 	"fmt"
+	"sort"
+	"strings"
 
 	"asymfence/internal/cache"
 	"asymfence/internal/mem"
 	"asymfence/internal/noc"
+	"asymfence/internal/trace"
 )
 
 // Default storage latencies (Table 2): the local L2 bank round trip and
@@ -197,6 +200,8 @@ type Directory struct {
 	timers   timerHeap
 	timerSeq uint64
 
+	tr *trace.Tracer
+
 	Stats DirStats
 }
 
@@ -217,6 +222,9 @@ func NewDirectory(bank, nbanks int, mesh *noc.Mesh, l2BytesPerBank int, grt *GRT
 		lines:  make(map[mem.Line]*dirLine),
 	}
 }
+
+// SetTracer attaches the machine's event tracer (nil disables).
+func (d *Directory) SetTracer(t *trace.Tracer) { d.tr = t }
 
 func (d *Directory) entry(l mem.Line) *dirLine {
 	dl, ok := d.lines[l]
@@ -285,6 +293,7 @@ func (d *Directory) Handle(now int64, m Msg) {
 		d.handleWeeDeposit(now, m)
 	case WeeRemove:
 		d.Stats.GRTRemovals++
+		d.tr.Emit(now, trace.KGRTRemove, int32(d.bank), 0, int64(m.Core), 0, 0)
 		d.grt.Remove(m.Core, m.ReqID)
 	case CFRegister:
 		snap := d.cft.Register(m.Group, CFEntry{Core: m.Core, ID: m.ReqID})
@@ -346,6 +355,7 @@ var DebugMemFetch func(line uint32)
 
 func (d *Directory) startGetS(now int64, dl *dirLine, m Msg) {
 	d.Stats.GetSReqs++
+	d.tr.Emit(now, trace.KDirGetS, int32(d.bank), uint64(m.Line), int64(m.Core), int64(m.ReqID), 0)
 	if dl.owner >= 0 && dl.owner != m.Core {
 		t := &txn{kind: txnGetS, req: m.Core, reqID: m.ReqID, line: m.Line, pendingAcks: 1}
 		dl.busy = t
@@ -360,9 +370,11 @@ func (d *Directory) startGetS(now int64, dl *dirLine, m Msg) {
 	d.at(now, lat, func(now int64) {
 		if dl.sharers == 0 && dl.owner < 0 {
 			dl.owner = m.Core
+			d.tr.Emit(now, trace.KDirGrant, int32(d.bank), uint64(m.Line), int64(m.Core), int64(GrantE), 0)
 			d.send(now, m.Core, Msg{Type: GrantE, Line: m.Line, Core: m.Core, ReqID: m.ReqID}, noc.CatProtocol)
 		} else {
 			dl.sharers |= 1 << uint(m.Core)
+			d.tr.Emit(now, trace.KDirGrant, int32(d.bank), uint64(m.Line), int64(m.Core), int64(GrantS), 0)
 			d.send(now, m.Core, Msg{Type: GrantS, Line: m.Line, Core: m.Core, ReqID: m.ReqID}, noc.CatProtocol)
 		}
 		d.finish(now, dl)
@@ -371,6 +383,11 @@ func (d *Directory) startGetS(now int64, dl *dirLine, m Msg) {
 
 func (d *Directory) startGetM(now int64, dl *dirLine, m Msg) {
 	d.Stats.GetMReqs++
+	var order int64
+	if m.Order {
+		order = 1
+	}
+	d.tr.Emit(now, trace.KDirGetM, int32(d.bank), uint64(m.Line), int64(m.Core), int64(m.ReqID), order)
 	t := &txn{
 		kind: txnGetM, req: m.Core, reqID: m.ReqID, line: m.Line,
 		order: m.Order, wordMask: m.WordMask,
@@ -382,6 +399,7 @@ func (d *Directory) startGetM(now int64, dl *dirLine, m Msg) {
 		// Defensive: requester already owns the line (e.g. a retry racing
 		// a silent upgrade). Grant immediately.
 		dl.busy = t
+		d.tr.Emit(now, trace.KDirGrant, int32(d.bank), uint64(m.Line), int64(m.Core), int64(GrantM), 0)
 		d.send(now, m.Core, Msg{Type: GrantM, Line: m.Line, Core: m.Core, ReqID: m.ReqID}, noc.CatProtocol)
 		d.finish(now, dl)
 	case dl.owner >= 0:
@@ -460,6 +478,7 @@ func (d *Directory) completeGetM(now int64, dl *dirLine, t *txn) {
 		// that acked are already removed; bouncers remain. The requester
 		// must retry.
 		d.Stats.BouncedWrites++
+		d.tr.Emit(now, trace.KDirNack, int32(d.bank), uint64(t.line), int64(req), 0, 0)
 		d.send(now, req, Msg{Type: NackRetry, Line: t.line, Core: req, ReqID: t.reqID}, noc.CatProtocol)
 	case t.order && t.wordMask != 0 && t.trueShare:
 		// Conditional Order with at least one true-sharer: the CO fails
@@ -467,6 +486,7 @@ func (d *Directory) completeGetM(now int64, dl *dirLine, t *txn) {
 		// sharers (paper §3.3.2).
 		d.Stats.CondOrderFails++
 		dl.sharers |= t.keepSharers
+		d.tr.Emit(now, trace.KDirNack, int32(d.bank), uint64(t.line), int64(req), 0, 1)
 		d.send(now, req, Msg{Type: NackRetry, Line: t.line, Core: req, ReqID: t.reqID}, noc.CatProtocol)
 	case t.order:
 		// Order operation (or CO with only false sharers): the update
@@ -480,10 +500,12 @@ func (d *Directory) completeGetM(now int64, dl *dirLine, t *txn) {
 		dl.sharers |= 1 << uint(req)
 		dl.owner = -1
 		d.l2.Install(d.l2Line(t.line), cache.Shared)
+		d.tr.Emit(now, trace.KDirGrant, int32(d.bank), uint64(t.line), int64(req), int64(GrantOrder), 0)
 		d.send(now, req, Msg{Type: GrantOrder, Line: t.line, Core: req, ReqID: t.reqID}, noc.CatProtocol)
 	default:
 		dl.sharers = 0
 		dl.owner = req
+		d.tr.Emit(now, trace.KDirGrant, int32(d.bank), uint64(t.line), int64(req), int64(GrantM), 0)
 		d.send(now, req, Msg{Type: GrantM, Line: t.line, Core: req, ReqID: t.reqID}, noc.CatProtocol)
 	}
 	d.finish(now, dl)
@@ -505,6 +527,7 @@ func (d *Directory) handleDowngradeAck(now int64, m Msg) {
 		dl.sharers |= 1 << uint(old)
 	}
 	dl.sharers |= 1 << uint(t.req)
+	d.tr.Emit(now, trace.KDirGrant, int32(d.bank), uint64(m.Line), int64(t.req), int64(GrantS), 0)
 	d.send(now, t.req, Msg{Type: GrantS, Line: m.Line, Core: t.req, ReqID: t.reqID}, noc.CatProtocol)
 	d.finish(now, dl)
 }
@@ -516,6 +539,11 @@ func (d *Directory) handlePutM(now int64, m Msg) {
 		return
 	}
 	d.Stats.Writebacks++
+	var keep int64
+	if m.KeepSharer {
+		keep = 1
+	}
+	d.tr.Emit(now, trace.KDirWriteback, int32(d.bank), uint64(m.Line), int64(m.Core), keep, 0)
 	if dl.owner == m.Core {
 		dl.owner = -1
 		d.l2.Install(d.l2Line(m.Line), cache.Shared)
@@ -530,6 +558,7 @@ func (d *Directory) handlePutM(now int64, m Msg) {
 
 func (d *Directory) handleWeeDeposit(now int64, m Msg) {
 	d.Stats.GRTDeposits++
+	d.tr.Emit(now, trace.KGRTDeposit, int32(d.bank), 0, int64(m.Core), int64(len(m.PS)), 0)
 	remote := d.grt.Deposit(m.Core, m.ReqID, m.PS)
 	d.send(now, m.Core, Msg{Type: WeeDepositAck, Core: m.Core, ReqID: m.ReqID, PS: remote}, noc.CatFence)
 }
@@ -574,3 +603,28 @@ func (d *Directory) SharersOf(l mem.Line) (sharers uint64, owner int) {
 
 // GRTEntry returns the registered pending set for a core (test hook).
 func (d *Directory) GRTEntry(core int) []mem.Line { return d.grt.Entry(core) }
+
+// DebugState renders the module's in-flight work for deadlock reports:
+// every line with an open transaction or queued requesters, plus the
+// pending timer count. Lines are sorted so the output is deterministic.
+func (d *Directory) DebugState() string {
+	type row struct {
+		line   mem.Line
+		busy   bool
+		queued int
+	}
+	var rows []row
+	for l, dl := range d.lines {
+		if dl.busy == nil && len(dl.queue) == 0 {
+			continue
+		}
+		rows = append(rows, row{line: l, busy: dl.busy != nil, queued: len(dl.queue)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].line < rows[j].line })
+	var b strings.Builder
+	fmt.Fprintf(&b, "dir bank %d: %d busy line(s), %d timer(s)", d.bank, len(rows), d.timers.Len())
+	for _, r := range rows {
+		fmt.Fprintf(&b, "\n  line %#x: busy=%v queued=%d", uint32(r.line), r.busy, r.queued)
+	}
+	return b.String()
+}

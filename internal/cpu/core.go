@@ -20,6 +20,7 @@ import (
 	"asymfence/internal/mem"
 	"asymfence/internal/noc"
 	"asymfence/internal/stats"
+	"asymfence/internal/trace"
 )
 
 // Config holds one core's microarchitectural parameters. Zero values are
@@ -51,6 +52,10 @@ type Config struct {
 	// Private Access Filtering (see mem.Privacy). Nil means everything is
 	// treated as shared.
 	Privacy *mem.Privacy
+
+	// Tracer receives this core's fence-lifecycle and write-buffer
+	// events. Nil (the default) disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -220,6 +225,7 @@ type Core struct {
 	mesh  *noc.Mesh
 	store *mem.Store
 	st    *stats.Core
+	tr    *trace.Tracer
 
 	l1 *cache.Cache
 	bs *fence.BypassSet
@@ -298,6 +304,7 @@ func New(cfg Config, prog *isa.Program, mesh *noc.Mesh, store *mem.Store) *Core 
 		mesh:       mesh,
 		store:      store,
 		st:         stats.NewCore(),
+		tr:         cfg.Tracer,
 		l1:         cache.New(cfg.L1Bytes, cfg.L1Assoc),
 		bs:         fence.NewBypassSet(cfg.BSCapacity, cfg.BSBloom),
 		loadMisses: make(map[mem.Line]*loadMiss),

@@ -6,6 +6,7 @@ import (
 	"asymfence/internal/isa"
 	"asymfence/internal/mem"
 	"asymfence/internal/noc"
+	"asymfence/internal/trace"
 )
 
 // issueLoads starts memory access for every load whose address is ready.
@@ -235,13 +236,14 @@ func (c *Core) redirectMispredict() {
 // squashSpeculativeLoads squashes performed-but-unretired loads to line l
 // (an incoming invalidation conflicts with them). It returns whether any
 // squash happened.
-func (c *Core) squashSpeculativeLoads(l mem.Line) bool {
+func (c *Core) squashSpeculativeLoads(now int64, l mem.Line) bool {
 	for i, e := range c.rob {
 		if e.squashed {
 			continue
 		}
 		if e.in.Op == isa.Ld && e.performed && !e.forwarded && e.line() == l {
 			c.st.Squashes++
+			c.tr.Emit(now, trace.KSquash, int32(c.cfg.ID), uint64(l), int64(e.pc), 0, 0)
 			c.squashFrom(i)
 			return true
 		}

@@ -6,6 +6,7 @@ import (
 	"asymfence/internal/fence"
 	"asymfence/internal/mem"
 	"asymfence/internal/noc"
+	"asymfence/internal/trace"
 )
 
 // drainWB advances the TSO write buffer: only the head store's coherence
@@ -41,6 +42,13 @@ func (c *Core) drainWB(now int64) {
 	c.wbOrder = order
 	c.wbReqID = c.nextReqID()
 	c.wbInFlight = true
+	if c.wbBounced {
+		var ord int64
+		if order {
+			ord = 1
+		}
+		c.tr.Emit(now, trace.KWBRetry, int32(c.cfg.ID), uint64(line), int64(h.seq), ord, 0)
+	}
 	c.send(now, c.home(line), coherence.Msg{
 		Type: coherence.GetM, Line: line, Core: c.cfg.ID, ReqID: c.wbReqID,
 		Order: order, WordMask: mask, Retry: c.wbBounced,
@@ -98,6 +106,7 @@ func (c *Core) handleStoreGrant(now int64, m coherence.Msg) {
 			c.st.BouncedWrites++
 		}
 		c.st.BounceRetries++
+		c.tr.Emit(now, trace.KWBBounce, int32(c.cfg.ID), uint64(m.Line), int64(h.seq), 0, 0)
 		c.wbInFlight = false
 		c.wbRetryAt = now + c.cfg.RetryBackoff
 	}
@@ -182,6 +191,7 @@ func (c *Core) handleInv(now int64, m coherence.Msg) {
 	}
 	if hit && !m.Order {
 		c.st.BouncesGiven++
+		c.tr.Emit(now, trace.KBSBounce, int32(c.cfg.ID), uint64(m.Line), int64(m.Core), 0, 0)
 		if len(c.fences) > 0 {
 			c.bouncedExternal = true
 		}
@@ -190,7 +200,7 @@ func (c *Core) handleInv(now int64, m coherence.Msg) {
 		}, noc.CatProtocol)
 		return
 	}
-	c.squashSpeculativeLoads(m.Line)
+	c.squashSpeculativeLoads(now, m.Line)
 	_, dirty := c.l1.Invalidate(m.Line)
 	if hit {
 		trueShare := m.WordMask != 0 && m.WordMask&words != 0
@@ -233,6 +243,7 @@ func (c *Core) completeFences(now int64) {
 		// Sample BS occupancy for Table 4 before dropping the entries.
 		c.st.BSLinesSum += uint64(c.bs.Len())
 		c.st.BSLinesSamples++
+		c.tr.Emit(now, trace.KFenceComplete, int32(c.cfg.ID), 0, int64(f.seq), int64(c.bs.Len()), 0)
 		c.bs.CompleteFence(f.seq)
 		if f.wee {
 			dst := f.module
@@ -312,6 +323,7 @@ func (c *Core) checkWPlusTimeout(now int64) {
 func (c *Core) recoverWPlus(now int64) {
 	f := c.fences[0]
 	c.st.Recoveries++
+	c.tr.Emit(now, trace.KRecovery, int32(c.cfg.ID), 0, int64(f.seq), int64(f.pcAfter), 0)
 	c.undoTo(f.seq + 1)
 	// Un-count Stat events that will be replayed.
 	keep := c.statLog[:0]

@@ -7,6 +7,7 @@ import (
 	"asymfence/internal/isa"
 	"asymfence/internal/mem"
 	"asymfence/internal/noc"
+	"asymfence/internal/trace"
 )
 
 // DebugDemote, when set, is called on every BS-confinement demotion
@@ -112,6 +113,7 @@ func (c *Core) tryRetire(now int64, e *robEntry) (bool, blockReason) {
 			return false, rFence
 		}
 		c.st.SFences++
+		c.tr.Emit(now, trace.KFenceStrong, int32(c.cfg.ID), 0, int64(e.pc), 0, 0)
 		return true, rNone
 
 	case isa.WFence:
@@ -176,6 +178,7 @@ func (c *Core) retireLoad(now int64, e *robEntry) (bool, blockReason) {
 			c.st.DemotedWFences++
 			c.st.SFences++
 			c.st.WFences--
+			c.tr.Emit(now, trace.KFenceDemote, int32(c.cfg.ID), 0, int64(e.pc), int64(f.module), 0)
 			return false, rFence
 		}
 	}
@@ -247,12 +250,15 @@ func (c *Core) retireWeakFence(now int64, e *robEntry) (bool, blockReason) {
 			return false, rFence
 		}
 		c.st.SFences++
+		c.tr.Emit(now, trace.KFenceStrong, int32(c.cfg.ID), 0, int64(e.pc), 0, 0)
 		return true, rNone
 	}
 	if len(c.wb) == 0 {
 		// All pre-fence accesses already complete: the fence is trivially
 		// done, no early completion will happen under it.
 		c.st.WFences++
+		c.tr.Emit(now, trace.KFenceWeak, int32(c.cfg.ID), 0, int64(e.pc), int64(e.seq), 0)
+		c.tr.Emit(now, trace.KFenceComplete, int32(c.cfg.ID), 0, int64(e.seq), int64(c.bs.Len()), 0)
 		if c.weeDepositSent {
 			c.resetWeeHandshake(now, true)
 		}
@@ -264,6 +270,7 @@ func (c *Core) retireWeakFence(now int64, e *robEntry) (bool, blockReason) {
 	// WS+ / SW+ / W+: the fence retires immediately; post-fence reads may
 	// now retire and complete early, guarded by the Bypass Set.
 	c.st.WFences++
+	c.tr.Emit(now, trace.KFenceWeak, int32(c.cfg.ID), 0, int64(e.pc), int64(e.seq), 0)
 	f := &activeFence{seq: e.seq, pcAfter: e.pc + 1, undoMark: len(c.undoLog)}
 	c.fences = append(c.fences, f)
 	return true, rNone
@@ -303,6 +310,9 @@ func (c *Core) retireWeeFence(now int64, e *robEntry) (bool, blockReason) {
 				break
 			}
 		}
+		if e.weeDemoted {
+			c.tr.Emit(now, trace.KFenceDemote, int32(c.cfg.ID), 0, int64(e.pc), -1, 0)
+		}
 		if !e.weeDemoted {
 			c.weeModule = module
 			dst := module
@@ -326,12 +336,14 @@ func (c *Core) retireWeeFence(now int64, e *robEntry) (bool, blockReason) {
 		}
 		c.st.SFences++
 		c.st.DemotedWFences++
+		c.tr.Emit(now, trace.KFenceStrong, int32(c.cfg.ID), 0, int64(e.pc), 0, 0)
 		return true, rNone
 	}
 	if !c.weeDepositAck {
 		return false, rFence // waiting for the GRT round trip
 	}
 	c.st.WFences++
+	c.tr.Emit(now, trace.KFenceWeak, int32(c.cfg.ID), 0, int64(e.pc), int64(e.seq), 0)
 	f := &activeFence{
 		seq: e.seq, pcAfter: e.pc + 1, undoMark: len(c.undoLog),
 		module: c.weeModule, remotePS: c.weeRemote, wee: true,
@@ -381,15 +393,18 @@ func (c *Core) retireCFence(now int64, e *robEntry) (bool, blockReason) {
 		}, noc.CatFence)
 		c.cfState = 0
 		c.st.SFences++ // behaved as a conventional fence
+		c.tr.Emit(now, trace.KFenceStrong, int32(c.cfg.ID), 0, int64(e.pc), 0, 0)
 		return true, rNone
 	case 3: // free: retire now, stay registered until the drain completes
 		c.cfState = 0
 		c.st.WFences++ // behaved as a free (unordered-cost) fence
+		c.tr.Emit(now, trace.KFenceWeak, int32(c.cfg.ID), 0, int64(e.pc), int64(e.seq), 0)
 		if len(c.wb) == 0 {
 			c.send(now, 0, coherence.Msg{
 				Type: coherence.CFDeregister, Core: c.cfg.ID, ReqID: c.cfReqID,
 				Group: e.in.Imm,
 			}, noc.CatFence)
+			c.tr.Emit(now, trace.KFenceComplete, int32(c.cfg.ID), 0, int64(e.seq), int64(c.bs.Len()), 0)
 			return true, rNone
 		}
 		f := &activeFence{seq: e.seq, pcAfter: e.pc + 1, cf: true, cfGroup: e.in.Imm, weeID: c.cfReqID}

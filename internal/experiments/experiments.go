@@ -14,6 +14,7 @@ import (
 	"asymfence/internal/noc"
 	"asymfence/internal/sim"
 	"asymfence/internal/stats"
+	"asymfence/internal/trace"
 	"asymfence/internal/workloads/cilk"
 	"asymfence/internal/workloads/stamp"
 	"asymfence/internal/workloads/stm"
@@ -98,6 +99,11 @@ const defaultSeed = 20150314 // the paper's conference date
 
 // RunCilk executes one CilkApps application to completion.
 func RunCilk(p cilk.Profile, d fence.Design, ncores int, scale Scale) (*Measurement, error) {
+	meas, _, err := runCilk(p, d, ncores, scale, nil, 0)
+	return meas, err
+}
+
+func runCilk(p cilk.Profile, d fence.Design, ncores int, scale Scale, tr *trace.Tracer, interval int64) (*Measurement, *sim.Result, error) {
 	p.TasksPerWorker = scale.apply(p.TasksPerWorker)
 	al := mem.NewAllocator(0x1000)
 	store := mem.NewStore()
@@ -106,15 +112,16 @@ func RunCilk(p cilk.Profile, d fence.Design, ncores int, scale Scale) (*Measurem
 	m, err := sim.New(sim.Config{
 		NCores: ncores, Design: d, Privacy: privacy,
 		WarmRegions: wl.WarmRegions, MaxCycles: 200_000_000,
+		Trace: tr, SampleInterval: interval,
 	}, wl.Progs, store)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res, err := m.Run()
 	if err != nil {
-		return nil, fmt.Errorf("cilk %s under %v: %w", p.Name, d, err)
+		return nil, nil, fmt.Errorf("cilk %s under %v: %w", p.Name, d, err)
 	}
-	return reduce("CilkApps", p.Name, d, res), nil
+	return reduce("CilkApps", p.Name, d, res), res, nil
 }
 
 // RunUSTM executes one RSTM microbenchmark for a fixed horizon and
@@ -122,6 +129,11 @@ func RunCilk(p cilk.Profile, d fence.Design, ncores int, scale Scale) (*Measurem
 // each microbenchmark for a certain fixed time and measure the number of
 // transactions committed").
 func RunUSTM(p stm.Profile, d fence.Design, ncores int, horizon int64) (*Measurement, error) {
+	meas, _, err := runUSTM(p, d, ncores, horizon, nil, 0)
+	return meas, err
+}
+
+func runUSTM(p stm.Profile, d fence.Design, ncores int, horizon int64, tr *trace.Tracer, interval int64) (*Measurement, *sim.Result, error) {
 	p.Iterations = 0 // run forever; the horizon stops us
 	al := mem.NewAllocator(0x1000)
 	store := mem.NewStore()
@@ -130,18 +142,24 @@ func RunUSTM(p stm.Profile, d fence.Design, ncores int, horizon int64) (*Measure
 	m, err := sim.New(sim.Config{
 		NCores: ncores, Design: d, Privacy: privacy,
 		WarmRegions: wl.WarmRegions, MaxCycles: horizon + 1,
+		Trace: tr, SampleInterval: interval,
 	}, wl.Progs, store)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res := m.RunFor(horizon)
 	meas := reduce("ustm", p.Name, d, res)
 	meas.Horizon = horizon
-	return meas, nil
+	return meas, res, nil
 }
 
 // RunSTAMP executes one STAMP application to completion.
 func RunSTAMP(p stm.Profile, d fence.Design, ncores int, scale Scale) (*Measurement, error) {
+	meas, _, err := runSTAMP(p, d, ncores, scale, nil, 0)
+	return meas, err
+}
+
+func runSTAMP(p stm.Profile, d fence.Design, ncores int, scale Scale, tr *trace.Tracer, interval int64) (*Measurement, *sim.Result, error) {
 	p.Iterations = scale.apply(p.Iterations)
 	al := mem.NewAllocator(0x1000)
 	store := mem.NewStore()
@@ -150,15 +168,16 @@ func RunSTAMP(p stm.Profile, d fence.Design, ncores int, scale Scale) (*Measurem
 	m, err := sim.New(sim.Config{
 		NCores: ncores, Design: d, Privacy: privacy,
 		WarmRegions: wl.WarmRegions, MaxCycles: 200_000_000,
+		Trace: tr, SampleInterval: interval,
 	}, wl.Progs, store)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res, err := m.Run()
 	if err != nil {
-		return nil, fmt.Errorf("stamp %s under %v: %w", p.Name, d, err)
+		return nil, nil, fmt.Errorf("stamp %s under %v: %w", p.Name, d, err)
 	}
-	return reduce("STAMP", p.Name, d, res), nil
+	return reduce("STAMP", p.Name, d, res), res, nil
 }
 
 // GroupRun holds every (app, design) measurement of one workload group.

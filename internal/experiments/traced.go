@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asymfence/internal/fence"
+	"asymfence/internal/sim"
+	"asymfence/internal/trace"
+	"asymfence/internal/workloads/cilk"
+	"asymfence/internal/workloads/stamp"
+	"asymfence/internal/workloads/stm"
+)
+
+// Groups lists the workload groups accepted by RunTraced and Apps, in
+// display order.
+var Groups = []string{"cilk", "ustm", "stamp"}
+
+// Apps returns the application names of one workload group ("cilk",
+// "ustm" or "stamp"), or nil for an unknown group.
+func Apps(group string) []string {
+	var names []string
+	switch group {
+	case "cilk":
+		for _, p := range cilk.Apps {
+			names = append(names, p.Name)
+		}
+	case "ustm":
+		for _, p := range stm.USTM {
+			names = append(names, p.Name)
+		}
+	case "stamp":
+		for _, p := range stamp.Apps {
+			names = append(names, p.Name)
+		}
+	}
+	return names
+}
+
+// TraceOptions configures a traced run. The zero value asks for every
+// event class, an unbounded buffer, and quick-run workload sizing.
+type TraceOptions struct {
+	// NCores (default DefaultCores).
+	NCores int
+	// Scale sizes execution-time workloads (default 0.25 — tracing
+	// full-scale runs produces very large files).
+	Scale Scale
+	// Horizon is the throughput-group run length (default USTMHorizon).
+	Horizon int64
+	// Mask selects the recorded event classes (zero = all).
+	Mask trace.Mask
+	// MaxEvents bounds the event buffer ring-style (zero = unbounded).
+	MaxEvents int
+	// SampleInterval is the interval-metrics period in cycles
+	// (default 1000; negative disables sampling).
+	SampleInterval int64
+}
+
+func (o *TraceOptions) defaults() {
+	if o.NCores == 0 {
+		o.NCores = DefaultCores
+	}
+	if o.Scale == 0 {
+		o.Scale = 0.25
+	}
+	if o.Horizon == 0 {
+		o.Horizon = USTMHorizon
+	}
+	if o.SampleInterval == 0 {
+		o.SampleInterval = 1000
+	}
+	if o.SampleInterval < 0 {
+		o.SampleInterval = 0
+	}
+}
+
+// TraceRun is one traced execution: the reduced measurement plus the
+// raw event stream and interval series, ready for the trace exporters.
+type TraceRun struct {
+	Meas    *Measurement
+	Events  []trace.Event
+	Samples []trace.Sample
+	// Dropped counts events the bounded buffer overwrote (zero when
+	// MaxEvents was unbounded).
+	Dropped uint64
+}
+
+// RunTraced executes one (group, app) workload under the given design
+// with event tracing and interval sampling enabled.
+func RunTraced(group, app string, d fence.Design, opts TraceOptions) (*TraceRun, error) {
+	opts.defaults()
+	tr := trace.New(trace.Options{Mask: opts.Mask, MaxEvents: opts.MaxEvents})
+	meas, res, err := func() (*Measurement, *sim.Result, error) {
+		switch group {
+		case "cilk":
+			for _, p := range cilk.Apps {
+				if p.Name == app {
+					return runCilk(p, d, opts.NCores, opts.Scale, tr, opts.SampleInterval)
+				}
+			}
+		case "ustm":
+			for _, p := range stm.USTM {
+				if p.Name == app {
+					return runUSTM(p, d, opts.NCores, opts.Horizon, tr, opts.SampleInterval)
+				}
+			}
+		case "stamp":
+			for _, p := range stamp.Apps {
+				if p.Name == app {
+					return runSTAMP(p, d, opts.NCores, opts.Scale, tr, opts.SampleInterval)
+				}
+			}
+		default:
+			return nil, nil, fmt.Errorf("experiments: unknown workload group %q (valid: %s)",
+				group, strings.Join(Groups, ", "))
+		}
+		apps := Apps(group)
+		sort.Strings(apps)
+		return nil, nil, fmt.Errorf("experiments: unknown %s app %q (valid: %s)",
+			group, app, strings.Join(apps, ", "))
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return &TraceRun{
+		Meas:    meas,
+		Events:  tr.Events(),
+		Samples: res.Intervals,
+		Dropped: tr.Dropped(),
+	}, nil
+}

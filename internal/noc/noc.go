@@ -9,7 +9,11 @@
 // negligible increases).
 package noc
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"asymfence/internal/trace"
+)
 
 // Default link parameters (Table 2).
 const (
@@ -86,6 +90,7 @@ type Mesh struct {
 	lastArrive []int64
 	seq        uint64
 	stats      Stats
+	tr         *trace.Tracer
 }
 
 // NewMesh builds a width x height mesh with default link parameters.
@@ -113,6 +118,10 @@ func MeshFor(n int) (width, height int) {
 	}
 	return n / best, best
 }
+
+// SetTracer attaches the machine's event tracer (nil disables; packet
+// send/deliver events are the trace's highest-frequency class).
+func (m *Mesh) SetTracer(t *trace.Tracer) { m.tr = t }
 
 // Nodes returns the node count.
 func (m *Mesh) Nodes() int { return m.width * m.height }
@@ -160,6 +169,7 @@ func (m *Mesh) Send(now int64, p Packet) {
 	}
 	m.lastArrive[ch] = arrive
 	heap.Push(&m.queues[p.Dst], inFlight{arrive: arrive, seq: m.seq, pkt: p})
+	m.tr.Emit(now, trace.KNoCSend, int32(p.Src), 0, int64(p.Dst), int64(p.Size), int64(p.Cat))
 }
 
 // Deliver pops every packet destined to dst that has arrived by cycle now,
@@ -168,7 +178,9 @@ func (m *Mesh) Deliver(now int64, dst int) []Packet {
 	q := &m.queues[dst]
 	var out []Packet
 	for q.Len() > 0 && (*q)[0].arrive <= now {
-		out = append(out, heap.Pop(q).(inFlight).pkt)
+		p := heap.Pop(q).(inFlight).pkt
+		m.tr.Emit(now, trace.KNoCDeliver, int32(dst), 0, int64(p.Src), int64(p.Size), int64(p.Cat))
+		out = append(out, p)
 	}
 	return out
 }
@@ -181,6 +193,16 @@ func (m *Mesh) Pending() bool {
 		}
 	}
 	return false
+}
+
+// InFlight returns the number of packets currently in flight (deadlock
+// diagnostics).
+func (m *Mesh) InFlight() int {
+	n := 0
+	for i := range m.queues {
+		n += m.queues[i].Len()
+	}
+	return n
 }
 
 // Stats returns a copy of the accumulated traffic statistics.

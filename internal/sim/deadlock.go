@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CoreDump is one unfinished core's state at deadlock detection time.
+type CoreDump struct {
+	ID    int
+	State string // cpu.(*Core).DebugState() rendering
+}
+
+// DeadlockError is the error Machine.Run returns when the watchdog
+// fires: no core retired an instruction for Config.WatchdogCycles. It
+// wraps ErrDeadlock (errors.Is(err, ErrDeadlock) holds) and carries a
+// full diagnostic snapshot: every unfinished core's pipeline state,
+// each directory module's open transactions, and the mesh occupancy.
+type DeadlockError struct {
+	// Cycle is when the watchdog fired.
+	Cycle int64
+	// Cores holds the unfinished cores' states, in core-id order.
+	Cores []CoreDump
+	// Dirs holds the per-module summaries of modules with in-flight
+	// work, in bank order.
+	Dirs []string
+	// NoCInFlight is the number of packets still in the mesh.
+	NoCInFlight int
+}
+
+// Error renders the full diagnostic report.
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock at cycle %d: %d core(s) unfinished, %d packet(s) in flight",
+		e.Cycle, len(e.Cores), e.NoCInFlight)
+	for _, c := range e.Cores {
+		b.WriteString("\n")
+		b.WriteString(strings.TrimRight(c.State, "\n"))
+	}
+	for _, d := range e.Dirs {
+		b.WriteString("\n")
+		b.WriteString(d)
+	}
+	return b.String()
+}
+
+// Unwrap makes errors.Is(err, ErrDeadlock) work on the typed error.
+func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
+
+// deadlockError snapshots the stuck machine.
+func (m *Machine) deadlockError() *DeadlockError {
+	e := &DeadlockError{Cycle: m.cycle, NoCInFlight: m.mesh.InFlight()}
+	for i, c := range m.cores {
+		if !c.Finished() || c.Pending() {
+			e.Cores = append(e.Cores, CoreDump{ID: i, State: c.DebugState()})
+		}
+	}
+	for _, d := range m.dirs {
+		if d.Pending() {
+			e.Dirs = append(e.Dirs, d.DebugState())
+		}
+	}
+	return e
+}

@@ -18,6 +18,7 @@ import (
 	"asymfence/internal/mem"
 	"asymfence/internal/noc"
 	"asymfence/internal/stats"
+	"asymfence/internal/trace"
 )
 
 // Config describes a whole machine (Table 2 defaults apply to zero
@@ -48,6 +49,14 @@ type Config struct {
 	// modeling working sets that are warm mid-run (first-touch cold
 	// misses would otherwise dominate short simulations).
 	WarmRegions []mem.Region
+
+	// Trace receives every component's events (nil, the default,
+	// disables tracing at zero cost; see internal/trace).
+	Trace *trace.Tracer
+
+	// SampleInterval, when positive, snapshots per-core cycle-breakdown
+	// deltas every that many cycles into Result.Intervals.
+	SampleInterval int64
 }
 
 func (c *Config) applyDefaults() {
@@ -73,12 +82,16 @@ var ErrHorizon = errors.New("sim: cycle horizon reached before completion")
 
 // Machine is one simulated multicore.
 type Machine struct {
-	cfg   Config
-	mesh  *noc.Mesh
-	store *mem.Store
-	dirs  []*coherence.Directory
-	cores []*cpu.Core
-	cycle int64
+	cfg     Config
+	mesh    *noc.Mesh
+	store   *mem.Store
+	dirs    []*coherence.Directory
+	cores   []*cpu.Core
+	cycle   int64
+	tr      *trace.Tracer
+	sampler *trace.Sampler
+	// coreStats caches the stat blocks for the sampler's hot path.
+	coreStats []*stats.Core
 }
 
 // New builds a machine running programs[i] on core i. len(programs) must
@@ -90,16 +103,23 @@ func New(cfg Config, programs []*isa.Program, store *mem.Store) (*Machine, error
 	}
 	w, h := noc.MeshFor(cfg.NCores)
 	mesh := noc.NewMesh(w, h)
+	mesh.SetTracer(cfg.Trace)
 	grt := coherence.NewGRT()
-	m := &Machine{cfg: cfg, mesh: mesh, store: store}
+	m := &Machine{cfg: cfg, mesh: mesh, store: store, tr: cfg.Trace,
+		sampler: trace.NewSampler(cfg.SampleInterval, cfg.NCores)}
 	for i := 0; i < cfg.NCores; i++ {
-		m.dirs = append(m.dirs, coherence.NewDirectory(i, cfg.NCores, mesh, cfg.L2BytesPerBank, grt))
+		d := coherence.NewDirectory(i, cfg.NCores, mesh, cfg.L2BytesPerBank, grt)
+		d.SetTracer(cfg.Trace)
+		m.dirs = append(m.dirs, d)
 		cc := cfg.Core
 		cc.ID = i
 		cc.NCores = cfg.NCores
 		cc.Design = cfg.Design
 		cc.Privacy = cfg.Privacy
-		m.cores = append(m.cores, cpu.New(cc, programs[i], mesh, store))
+		cc.Tracer = cfg.Trace
+		core := cpu.New(cc, programs[i], mesh, store)
+		m.cores = append(m.cores, core)
+		m.coreStats = append(m.coreStats, core.Stats())
 	}
 	for _, r := range cfg.WarmRegions {
 		for l := mem.LineOf(r.Base); l < mem.Line(r.Base+r.Size); l += mem.LineSize {
@@ -141,6 +161,11 @@ func (m *Machine) Step() {
 	for _, c := range m.cores {
 		c.Step(now)
 	}
+	if m.sampler.Due(now) {
+		for i, st := range m.coreStats {
+			m.sampler.Record(now, i, st)
+		}
+	}
 }
 
 // Finished reports whether every core has halted and the fabric drained.
@@ -160,6 +185,10 @@ type Result struct {
 	Cores    []*stats.Core
 	NoC      noc.Stats
 	Dir      coherence.DirStats
+
+	// Intervals is the per-core cycle-breakdown time series when
+	// Config.SampleInterval was set (nil otherwise).
+	Intervals []trace.Sample
 }
 
 // Agg returns the per-core stats merged into one block.
@@ -191,6 +220,8 @@ func (m *Machine) result(finished bool) *Result {
 		r.Dir.GRTDeposits += s.GRTDeposits
 		r.Dir.GRTRemovals += s.GRTRemovals
 	}
+	m.sampler.Flush(m.cycle, m.coreStats)
+	r.Intervals = m.sampler.Samples()
 	return r
 }
 
@@ -208,7 +239,7 @@ func (m *Machine) Run() (*Result, error) {
 			lastRetired = r
 			lastProgress = m.cycle
 		} else if m.cycle-lastProgress > m.cfg.WatchdogCycles {
-			return m.result(false), ErrDeadlock
+			return m.result(false), m.deadlockError()
 		}
 	}
 	return m.result(false), ErrHorizon

@@ -1,0 +1,73 @@
+package sim_test
+
+import (
+	"testing"
+
+	"asymfence/internal/fence"
+	"asymfence/internal/mem"
+	"asymfence/internal/sim"
+	"asymfence/internal/trace"
+	"asymfence/internal/workloads/litmus"
+)
+
+// benchMachine builds the reference Bakery machine used to measure the
+// tracing overhead of the cycle loop.
+func benchMachine(b *testing.B, tr *trace.Tracer, interval int64) *sim.Machine {
+	b.Helper()
+	al := mem.NewAllocator(dataBase)
+	progs, _ := litmus.Bakery(al, 4, 1000, []bool{true, true, true, true}, true)
+	m, err := sim.New(sim.Config{
+		NCores: 4, Design: fence.WPlus,
+		Trace: tr, SampleInterval: interval,
+	}, progs, mem.NewStore())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkStepTracingDisabled is the baseline cycle rate with the nil
+// tracer every component holds by default. Compare against
+// BenchmarkStepTracingEnabled: the acceptance bar for the trace
+// subsystem is that this benchmark stays within noise (< 2%) of the
+// pre-trace simulator.
+func BenchmarkStepTracingDisabled(b *testing.B) {
+	m := benchMachine(b, nil, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+// BenchmarkStepTracingEnabled measures the full-mask tracing cost
+// (bounded ring so memory stays flat at large b.N).
+func BenchmarkStepTracingEnabled(b *testing.B) {
+	m := benchMachine(b, trace.New(trace.Options{MaxEvents: 1 << 16}), 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+// TestQuiescedStepIsAllocationFree documents that the steady-state
+// cycle loop — including every tracing call site on the nil fast path
+// and the nil interval sampler — performs no allocations. (The busy
+// loop allocates for real machine state: packets, ROB growth; the
+// per-cycle tracing hooks themselves must never add any. The trace
+// package's TestNilTracerIsDisabledAndFree covers the Emit path
+// under load.)
+func TestQuiescedStepIsAllocationFree(t *testing.T) {
+	al := mem.NewAllocator(dataBase)
+	progs, _ := litmus.Bakery(al, 4, 2, []bool{true, true, true, true}, true)
+	m, err := sim.New(sim.Config{NCores: 4, Design: fence.WPlus}, progs, mem.NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, m.Step)
+	if allocs != 0 {
+		t.Fatalf("quiesced Step allocated %v per cycle, want 0", allocs)
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+import "asymfence/internal/stats"
+
+// Sample is one interval snapshot of one core: the deltas of its cycle
+// breakdown and headline counters over the interval ending at Cycle.
+// Summed over cores and intervals the deltas reproduce the end-of-run
+// aggregates; plotted over time they show where a run's behavior
+// changes (a W+ recovery storm, a demotion cascade, a bounce loop).
+type Sample struct {
+	Cycle int64
+	Core  int32
+
+	// Cycle-breakdown deltas (paper categories).
+	Busy, FenceStall, OtherStall, Idle uint64
+
+	// Progress and fence-dynamics deltas. WFences is signed because a
+	// WeeFence demotion reclassifies an already-counted weak fence as
+	// strong mid-run, so its count can go down within an interval.
+	Retired, SFences, Bounces, Recoveries, Squashes uint64
+	WFences                                         int64
+}
+
+// coreSnap is the absolute counter state at the previous sample point.
+type coreSnap struct {
+	busy, fence, other, idle                       uint64
+	retired, sfences, wfences, bounces, recoveries uint64
+	squashes                                       uint64
+}
+
+// Sampler produces the per-core interval time series. The simulator
+// drives it from the cycle loop; a nil *Sampler is a disabled sampler.
+type Sampler struct {
+	every   int64
+	prev    []coreSnap
+	samples []Sample
+	last    int64 // cycle of the most recent sample row
+}
+
+// NewSampler builds a sampler that snapshots every `every` cycles.
+// It returns nil (the disabled sampler) when every <= 0.
+func NewSampler(every int64, ncores int) *Sampler {
+	if every <= 0 {
+		return nil
+	}
+	return &Sampler{every: every, prev: make([]coreSnap, ncores), last: -1}
+}
+
+// Due reports whether a sample should be taken at this cycle. Safe on a
+// nil sampler (always false), so the cycle loop pays one branch.
+func (s *Sampler) Due(cycle int64) bool {
+	return s != nil && cycle%s.every == 0
+}
+
+// Record appends core's delta row for the interval ending at cycle.
+func (s *Sampler) Record(cycle int64, core int, st *stats.Core) {
+	p := &s.prev[core]
+	bounced := st.BouncedWrites
+	s.samples = append(s.samples, Sample{
+		Cycle:      cycle,
+		Core:       int32(core),
+		Busy:       st.BusyCycles - p.busy,
+		FenceStall: st.FenceStallCycles - p.fence,
+		OtherStall: st.OtherStallCycles - p.other,
+		Idle:       st.IdleCycles - p.idle,
+		Retired:    st.RetiredInstrs - p.retired,
+		SFences:    st.SFences - p.sfences,
+		WFences:    int64(st.WFences) - int64(p.wfences),
+		Bounces:    bounced - p.bounces,
+		Recoveries: st.Recoveries - p.recoveries,
+		Squashes:   st.Squashes - p.squashes,
+	})
+	*p = coreSnap{
+		busy: st.BusyCycles, fence: st.FenceStallCycles,
+		other: st.OtherStallCycles, idle: st.IdleCycles,
+		retired: st.RetiredInstrs, sfences: st.SFences,
+		wfences: st.WFences, bounces: bounced,
+		recoveries: st.Recoveries, squashes: st.Squashes,
+	}
+	s.last = cycle
+}
+
+// Flush records a final partial interval at cycle for every core, so
+// the tail of a run that does not end on an interval boundary is still
+// covered. It is a no-op if a row for this cycle already exists.
+func (s *Sampler) Flush(cycle int64, cores []*stats.Core) {
+	if s == nil || cycle <= s.last {
+		return
+	}
+	for i, st := range cores {
+		s.Record(cycle, i, st)
+	}
+}
+
+// Samples returns the accumulated time series in recording order.
+func (s *Sampler) Samples() []Sample {
+	if s == nil {
+		return nil
+	}
+	return s.samples
+}
+
+// Every returns the sampling period (0 on a nil sampler).
+func (s *Sampler) Every() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.every
+}
