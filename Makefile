@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race smoke bench
+.PHONY: check fmt vet build test race race-runner smoke bench
 
-check: fmt vet build test smoke
+check: fmt vet build test race-runner smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -22,15 +22,23 @@ build:
 test:
 	$(GO) test ./...
 
-# The simulator is single-goroutine by design (one deterministic cycle
-# loop; no goroutines anywhere in internal/). The race target exists to
-# keep it that way: it must stay trivially green.
+# Each simulation is still a single deterministic cycle loop; the only
+# goroutines live in the experiment runner's worker pool. The race
+# target keeps the whole tree race-clean under that fan-out.
 race:
 	$(GO) test -race ./...
 
-# Quick end-to-end sanity: the headline experiment at reduced scale.
+# The engine's concurrency contract under the race detector: the
+# sequential-vs-parallel equivalence, cache accounting and cancellation
+# tests, plus the runner package's own suite.
+race-runner:
+	$(GO) test -race -run 'Equivalence|CacheHit|Cancellation' -count=1 .
+	$(GO) test -race -count=1 ./internal/experiments/runner/
+
+# Quick end-to-end sanity: the headline experiment at reduced scale on
+# a parallel worker pool.
 smoke:
-	$(GO) run ./cmd/asymsim -scale 0.1 -horizon 20000 headline
+	$(GO) run ./cmd/asymsim -scale 0.1 -horizon 20000 -j 4 headline
 
 # Perf snapshot of every (workload, design) pair -> BENCH_<date>.json.
 bench:

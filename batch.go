@@ -1,0 +1,59 @@
+package asymfence
+
+import (
+	"context"
+	"io"
+
+	"asymfence/internal/experiments"
+	"asymfence/internal/experiments/runner"
+)
+
+// SimJob identifies one simulation: a single (workload, design, machine
+// size) run. Jobs with equal canonical content (the unused sizing field
+// is ignored) share one cached measurement.
+type SimJob struct {
+	// Group is the workload group: "cilk", "ustm" or "stamp".
+	Group string
+	// App is the application name within the group (see WorkloadApps).
+	App    string
+	Design Design
+	// Cores is the simulated core count.
+	Cores int
+	// Scale sizes execution-time runs (cilk, stamp); ignored by ustm.
+	Scale float64
+	// Horizon is the throughput-run length in cycles (ustm only).
+	Horizon int64
+}
+
+// BatchOptions tune RunBatch.
+type BatchOptions struct {
+	// Jobs bounds the worker pool (<=0: GOMAXPROCS; 1: sequential).
+	Jobs int
+	// Progress, when non-nil, receives per-job progress lines.
+	Progress io.Writer
+	// Stats, when non-nil, is filled with the batch's job accounting on
+	// return.
+	Stats *RunStats
+}
+
+// RunBatch executes a flat batch of simulation jobs on a bounded worker
+// pool against the process-wide measurement cache. Results return
+// positionally — results[i] belongs to jobs[i], whatever the
+// scheduling — so callers merge deterministically. Cancel ctx to abort;
+// the error then wraps context.Canceled.
+func RunBatch(ctx context.Context, jobs []SimJob, opts BatchOptions) ([]*WorkloadMeasurement, error) {
+	eng := experiments.NewEngine(experiments.EngineOptions{Workers: opts.Jobs, Progress: opts.Progress})
+	specs := make([]runner.Spec, len(jobs))
+	for i, j := range jobs {
+		specs[i] = runner.Spec{
+			Group: j.Group, App: j.App, Design: j.Design,
+			Cores: j.Cores, Scale: j.Scale, Horizon: j.Horizon,
+		}
+	}
+	ms, err := eng.RunSpecs(ctx, specs)
+	if opts.Stats != nil {
+		st := eng.Stats()
+		*opts.Stats = RunStats{Jobs: st.Jobs, CacheHits: st.Hits, Simulated: st.Simulated}
+	}
+	return ms, err
+}

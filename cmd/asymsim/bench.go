@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,56 +36,65 @@ type benchFile struct {
 
 // benchCmd handles `asymsim bench`: every workload under every design
 // at a fixed quick scale, written as machine-readable JSON so future
-// changes have a perf trajectory to compare against.
-func benchCmd(args []string) int {
+// changes have a perf trajectory to compare against. The whole sweep is
+// one flat batch on the worker pool; row order is the batch's
+// submission order, independent of scheduling.
+func benchCmd(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("asymsim bench", flag.ExitOnError)
 	cores := fs.Int("cores", 8, "core count (power of two)")
 	scale := fs.Float64("scale", 0.25, "execution-time run scale")
 	horizon := fs.Int64("horizon", 40_000, "throughput-run length in cycles")
+	jobs := fs.Int("j", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	seq := fs.Bool("seq", false, "run simulations sequentially (same as -j 1)")
 	out := fs.String("out", "", "output file (default BENCH_<date>.json)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: asymsim bench [flags]\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
+	workers := *jobs
+	if *seq {
+		workers = 1
+	}
 
 	designs := append(asymfence.AllDesigns, asymfence.CFenceDesign)
+	var sims []asymfence.SimJob
+	for _, group := range asymfence.WorkloadGroups {
+		for _, app := range asymfence.WorkloadApps(group) {
+			for _, d := range designs {
+				sims = append(sims, asymfence.SimJob{
+					Group: group, App: app, Design: d,
+					Cores: *cores, Scale: *scale, Horizon: *horizon,
+				})
+			}
+		}
+	}
+	var stats asymfence.RunStats
+	start := time.Now()
+	ms, err := asymfence.RunBatch(ctx, sims, asymfence.BatchOptions{
+		Jobs: workers, Progress: os.Stderr, Stats: &stats,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asymsim bench:", err)
+		return 1
+	}
+
 	bf := benchFile{
 		Date:    time.Now().Format("2006-01-02"),
 		Cores:   *cores,
 		Scale:   *scale,
 		Horizon: *horizon,
 	}
-	for _, group := range asymfence.WorkloadGroups {
-		for _, app := range asymfence.WorkloadApps(group) {
-			for _, d := range designs {
-				var (
-					m   *asymfence.WorkloadMeasurement
-					err error
-				)
-				switch group {
-				case "cilk":
-					m, err = asymfence.RunCilkApp(app, d, *cores, *scale)
-				case "ustm":
-					m, err = asymfence.RunUSTMBenchmark(app, d, *cores, *horizon)
-				case "stamp":
-					m, err = asymfence.RunSTAMPApp(app, d, *cores, *scale)
-				}
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "asymsim bench:", err)
-					return 1
-				}
-				row := benchRow{
-					Group: group, App: app, Design: d.String(),
-					Cycles: m.Cycles, FenceStall: m.FenceStall,
-				}
-				if group == "ustm" {
-					row.Throughput = m.Throughput()
-				}
-				bf.Rows = append(bf.Rows, row)
-				fmt.Fprintf(os.Stderr, "asymsim bench: %s:%s %-8v cycles=%d\n", group, app, d, m.Cycles)
-			}
+	for i, j := range sims {
+		m := ms[i]
+		row := benchRow{
+			Group: j.Group, App: j.App, Design: j.Design.String(),
+			Cycles: m.Cycles, FenceStall: m.FenceStall,
 		}
+		if j.Group == "ustm" {
+			row.Throughput = m.Throughput()
+		}
+		bf.Rows = append(bf.Rows, row)
 	}
 
 	path := *out
@@ -100,6 +110,7 @@ func benchCmd(args []string) int {
 		fmt.Fprintln(os.Stderr, "asymsim bench:", err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "asymsim bench: wrote %d rows to %s\n", len(bf.Rows), path)
+	fmt.Fprintf(os.Stderr, "asymsim bench: wrote %d rows to %s (%d simulated, %d cache hits, %s)\n",
+		len(bf.Rows), path, stats.Simulated, stats.CacheHits, time.Since(start).Round(time.Millisecond))
 	return 0
 }

@@ -17,6 +17,16 @@
 //	asymsim -scale 0.25 fig11    # quick STAMP run
 //	asymsim -md all > results.md # everything, as markdown
 //
+// Simulations run on a bounded worker pool (-j N; -seq forces one
+// worker) against a process-wide measurement cache, so experiments
+// that repeat each other's runs (fig10 repeats fig9's; the headline
+// repeats fig8/fig9/fig11's; "all" benefits most) reuse results
+// instead of re-simulating. Tables are byte-identical at any -j:
+// simulations are deterministic and results merge in submission order.
+// Per-job progress and a cache-accounting summary go to stderr (-q
+// silences the per-job lines); tables go to stdout. Interrupting the
+// process (Ctrl-C) cancels the in-flight simulations promptly.
+//
 // The trace subcommand records the cycle-level event stream of one
 // (workload, design) run — fence lifecycle, write-buffer bounces,
 // directory transactions, mesh packets — plus per-core interval
@@ -33,26 +43,38 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"asymfence"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
 		case "trace":
-			os.Exit(traceCmd(os.Args[2:]))
+			os.Exit(traceCmd(ctx, os.Args[2:]))
 		case "bench":
-			os.Exit(benchCmd(os.Args[2:]))
+			os.Exit(benchCmd(ctx, os.Args[2:]))
 		}
 	}
 
 	cores := flag.Int("cores", 8, "core count (power of two; Table 2 default is 8)")
 	scale := flag.Float64("scale", 1.0, "execution-time run scale (1.0 = full)")
 	horizon := flag.Int64("horizon", 0, "throughput-run length in cycles (0 = default)")
+	jobs := flag.Int("j", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	seq := flag.Bool("seq", false, "run simulations sequentially (same as -j 1)")
+	quiet := flag.Bool("q", false, "suppress per-job progress lines on stderr")
 	md := flag.Bool("md", false, "emit markdown tables")
 	list := flag.Bool("list", false, "list experiment ids with descriptions and exit")
 	flag.Usage = func() {
@@ -60,7 +82,7 @@ func main() {
 			"       asymsim [flags] run <group>:<app>     (e.g. run cilk:fib, run ustm:List)\n"+
 			"       asymsim trace <group>:<app> [flags]   (asymsim trace -h for flags)\n"+
 			"       asymsim bench [flags]                 (asymsim bench -h for flags)\n\n"+
-			"experiments: %v, all\n\nflags:\n",
+			"experiments: %v\n\nflags:\n",
 			asymfence.ExperimentIDs)
 		flag.PrintDefaults()
 	}
@@ -71,7 +93,11 @@ func main() {
 		}
 		return
 	}
-	if maybeRun(flag.Args(), *cores, *scale, *horizon) {
+	workers := *jobs
+	if *seq {
+		workers = 1
+	}
+	if maybeRun(ctx, flag.Args(), *cores, *scale, *horizon, workers, *quiet) {
 		return
 	}
 	if flag.NArg() != 1 {
@@ -79,18 +105,29 @@ func main() {
 		os.Exit(2)
 	}
 	id := flag.Arg(0)
-	// Validate the id up front so a typo fails before any table of a
+	// Resolve the id up front so a typo fails before any table of a
 	// multi-experiment run has been printed.
-	if !validExperiment(id) {
-		fmt.Fprintf(os.Stderr, "asymsim: unknown experiment %q (valid: %v, or \"all\"; see -list)\n",
+	exp, ok := asymfence.LookupExperiment(id)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "asymsim: unknown experiment %q (valid: %v; see -list)\n",
 			id, asymfence.ExperimentIDs)
 		os.Exit(2)
 	}
-	tables, err := asymfence.RunExperiment(id, asymfence.ExperimentOptions{
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+	var stats asymfence.RunStats
+	start := time.Now()
+	tables, err := exp.Run(ctx, asymfence.Options{
 		Cores: *cores, Scale: *scale, Horizon: *horizon,
+		Jobs: workers, Progress: progress, Stats: &stats,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "asymsim:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 	for _, t := range tables {
@@ -100,16 +137,6 @@ func main() {
 			fmt.Println(t.String())
 		}
 	}
-}
-
-func validExperiment(id string) bool {
-	if id == "all" {
-		return true
-	}
-	for _, e := range asymfence.ExperimentIDs {
-		if id == e {
-			return true
-		}
-	}
-	return false
+	fmt.Fprintf(os.Stderr, "asymsim: %s: %d jobs (%d simulated, %d cache hits) in %s\n",
+		id, stats.Jobs, stats.Simulated, stats.CacheHits, time.Since(start).Round(time.Millisecond))
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -9,8 +11,10 @@ import (
 )
 
 // runOne handles `asymsim run <group>:<app>`: a single (workload, design)
-// sweep with the cycle breakdown and the fence-site stall profile.
-func runOne(spec string, cores int, scale float64, horizon int64) error {
+// sweep with the cycle breakdown and the fence-site stall profile. The
+// per-design simulations execute as one parallel batch; the printout
+// order is fixed by the batch's submission order.
+func runOne(ctx context.Context, spec string, cores int, scale float64, horizon int64, workers int, quiet bool) error {
 	group, app, ok := strings.Cut(spec, ":")
 	if !ok {
 		return fmt.Errorf("workload spec must be <group>:<app>, e.g. cilk:fib (groups: cilk, ustm, stamp)")
@@ -18,25 +22,25 @@ func runOne(spec string, cores int, scale float64, horizon int64) error {
 	if horizon == 0 {
 		horizon = 60_000
 	}
+	designs := append(asymfence.AllDesigns, asymfence.CFenceDesign)
+	jobs := make([]asymfence.SimJob, len(designs))
+	for i, d := range designs {
+		jobs[i] = asymfence.SimJob{
+			Group: group, App: app, Design: d,
+			Cores: cores, Scale: scale, Horizon: horizon,
+		}
+	}
+	var progress io.Writer
+	if !quiet {
+		progress = os.Stderr
+	}
+	ms, err := asymfence.RunBatch(ctx, jobs, asymfence.BatchOptions{Jobs: workers, Progress: progress})
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%s under each design (%d cores):\n\n", spec, cores)
-	for _, d := range append(asymfence.AllDesigns, asymfence.CFenceDesign) {
-		var (
-			m   *asymfence.WorkloadMeasurement
-			err error
-		)
-		switch group {
-		case "cilk":
-			m, err = asymfence.RunCilkApp(app, d, cores, scale)
-		case "ustm":
-			m, err = asymfence.RunUSTMBenchmark(app, d, cores, horizon)
-		case "stamp":
-			m, err = asymfence.RunSTAMPApp(app, d, cores, scale)
-		default:
-			return fmt.Errorf("unknown group %q (cilk, ustm, stamp)", group)
-		}
-		if err != nil {
-			return err
-		}
+	for i, d := range designs {
+		m := ms[i]
 		fmt.Printf("%-8s cycles=%-8d txn/Mcyc=%-8.0f busy=%5.1f%%  other=%5.1f%%  fence=%5.1f%%  sf=%d wf=%d recov=%d\n",
 			d, m.Cycles, m.Throughput(), 100*m.Busy, 100*m.OtherStall, 100*m.FenceStall,
 			m.Agg.SFences, m.Agg.WFences, m.Agg.Recoveries)
@@ -53,11 +57,11 @@ func runOne(spec string, cores int, scale float64, horizon int64) error {
 	return nil
 }
 
-func maybeRun(args []string, cores int, scale float64, horizon int64) bool {
+func maybeRun(ctx context.Context, args []string, cores int, scale float64, horizon int64, workers int, quiet bool) bool {
 	if len(args) != 2 || args[0] != "run" {
 		return false
 	}
-	if err := runOne(args[1], cores, scale, horizon); err != nil {
+	if err := runOne(ctx, args[1], cores, scale, horizon, workers, quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "asymsim:", err)
 		os.Exit(1)
 	}

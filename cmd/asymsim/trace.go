@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -13,7 +14,7 @@ import (
 // traceCmd handles `asymsim trace <group>:<app>`: one traced run,
 // exported as Chrome trace_event JSON (Perfetto-loadable) or JSONL.
 // The workload spec may come before or after the flags.
-func traceCmd(args []string) int {
+func traceCmd(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("asymsim trace", flag.ExitOnError)
 	design := fs.String("design", "WS+", "fence design (S+, WS+, SW+, W+, Wee, C-Fence)")
 	out := fs.String("trace-out", "", "output file (default stdout)")
@@ -63,7 +64,7 @@ func traceCmd(args []string) int {
 		return 2
 	}
 
-	res, err := asymfence.TraceWorkload(group, app, d, asymfence.TraceOptions{
+	res, err := asymfence.TraceWorkload(ctx, group, app, d, asymfence.TraceOptions{
 		Cores: *cores, Scale: *scale, Horizon: *horizon,
 		Mask: mask, MaxEvents: *maxEvents, SampleInterval: *interval,
 	})

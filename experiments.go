@@ -1,7 +1,9 @@
 package asymfence
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"asymfence/internal/experiments"
 )
@@ -9,92 +11,262 @@ import (
 // ExperimentTable is a rendered experiment result.
 type ExperimentTable = experiments.Table
 
-// ExperimentOptions tune the experiment harness.
-type ExperimentOptions struct {
-	// Cores (default 8, the paper's configuration).
+// Options tune the experiment harness. Every field uses "unset means
+// default" semantics with an explicit sentinel: numeric fields are
+// overridden only when positive (<=0 selects the default, so a caller
+// can spell "use the default" as the zero value without it colliding
+// with a real configuration), and slice/pointer fields default when
+// nil or empty.
+type Options struct {
+	// Cores is the simulated core count (<=0: the paper's 8, Table 2).
 	Cores int
-	// Scale shrinks execution-time runs (1.0 = full, e.g. 0.25 for CI).
+	// Scale shrinks execution-time runs (<=0: 1.0 = full size; e.g.
+	// 0.25 for CI).
 	Scale float64
-	// Horizon is the throughput-run length in cycles (default 60k).
+	// Horizon is the throughput-run length in cycles (<=0: 60k).
 	Horizon int64
-	// CoreCounts for the scalability study (default 4, 8, 16, 32).
+	// CoreCounts is the scalability study's sweep (empty: 4, 8, 16, 32).
 	CoreCounts []int
+	// Jobs bounds the simulation worker pool (<=0: GOMAXPROCS;
+	// 1: fully sequential execution). Tables are byte-identical at any
+	// setting; only wall-clock changes.
+	Jobs int
+	// Progress, when non-nil, receives per-job progress lines
+	// (done/total, cache hits, elapsed) while the run executes.
+	Progress io.Writer
+	// Stats, when non-nil, is filled with the run's job accounting on
+	// return (including on error).
+	Stats *RunStats
 }
 
-func (o *ExperimentOptions) defaults() {
-	if o.Cores == 0 {
+// ExperimentOptions is the old name of Options.
+//
+// Deprecated: use Options.
+type ExperimentOptions = Options
+
+// withDefaults resolves the sentinel fields; see Options.
+func (o Options) withDefaults() Options {
+	if o.Cores <= 0 {
 		o.Cores = experiments.DefaultCores
 	}
-	if o.Scale == 0 {
+	if o.Scale <= 0 {
 		o.Scale = 1
 	}
-	if o.Horizon == 0 {
+	if o.Horizon <= 0 {
 		o.Horizon = experiments.USTMHorizon
 	}
-}
-
-// ExperimentIDs lists the regenerable artifacts of the paper's
-// evaluation, in paper order.
-var ExperimentIDs = []string{"fig8", "fig9", "fig10", "fig11", "fig12", "table4", "headline"}
-
-// ExperimentInfo names one regenerable artifact.
-type ExperimentInfo struct {
-	ID          string
-	Description string
-}
-
-// Experiments returns every experiment id with a one-line description
-// of the paper artifact it regenerates, in paper order.
-func Experiments() []ExperimentInfo {
-	return []ExperimentInfo{
-		{"fig8", "CilkApps execution time under S+, WS+, W+ and Wee (Fig. 8)"},
-		{"fig9", "ustm transactional throughput per design (Fig. 9)"},
-		{"fig10", "ustm cycles per committed transaction, cycle breakdown (Fig. 10)"},
-		{"fig11", "STAMP execution time per design (Fig. 11)"},
-		{"fig12", "scalability of the mean speedups across core counts (Fig. 12)"},
-		{"table4", "fence/bounce/traffic characterization per group (Table 4)"},
-		{"headline", "the paper's headline mean speedup comparison (abstract)"},
+	if len(o.CoreCounts) == 0 {
+		o.CoreCounts = experiments.DefaultCoreCounts
 	}
+	return o
+}
+
+// RunStats summarizes the engine's job accounting for one experiment
+// run.
+type RunStats struct {
+	// Jobs is the number of simulation jobs the run submitted.
+	Jobs int
+	// CacheHits of those were served from the shared measurement cache
+	// (or joined an identical in-flight job) without simulating.
+	CacheHits int
+	// Simulated jobs actually executed.
+	Simulated int
+}
+
+// Experiment is one regenerable artifact of the paper's evaluation: a
+// typed registry entry carrying its id, a one-line description, the
+// paper artifact it reproduces, and the code that runs it. Obtain
+// entries from Experiments or LookupExperiment.
+type Experiment struct {
+	// ID is the CLI/RunExperiment identifier ("fig8", ..., "all").
+	ID string
+	// Description is a one-line summary of the regenerated artifact.
+	Description string
+	// PaperRef names the paper artifact (figure/table/section) this
+	// experiment reproduces; DESIGN.md §5 maps each to its reference
+	// result.
+	PaperRef string
+
+	run func(ctx context.Context, eng *experiments.Engine, o Options) ([]*ExperimentTable, error)
+}
+
+// ExperimentInfo is the old name of Experiment.
+//
+// Deprecated: use Experiment.
+type ExperimentInfo = Experiment
+
+// Run regenerates the artifact and returns its table(s). Simulation
+// jobs execute on a bounded worker pool (Options.Jobs) against the
+// process-wide measurement cache; results merge deterministically, so
+// output is byte-identical at any parallelism. Cancel ctx to abort:
+// the error then wraps context.Canceled.
+func (e Experiment) Run(ctx context.Context, opts Options) ([]*ExperimentTable, error) {
+	if e.run == nil {
+		return nil, fmt.Errorf("asymfence: zero Experiment value (obtain entries from Experiments or LookupExperiment)")
+	}
+	o := opts.withDefaults()
+	eng := experiments.NewEngine(experiments.EngineOptions{Workers: o.Jobs, Progress: o.Progress})
+	tables, err := e.run(ctx, eng, o)
+	if opts.Stats != nil {
+		st := eng.Stats()
+		*opts.Stats = RunStats{Jobs: st.Jobs, CacheHits: st.Hits, Simulated: st.Simulated}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("asymfence: %s: %w", e.ID, err)
+	}
+	return tables, nil
+}
+
+// one adapts a single-table result to the registry's return shape.
+func one(t *ExperimentTable, err error) ([]*ExperimentTable, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*ExperimentTable{t}, nil
+}
+
+// registry is the single source of truth for experiment discovery and
+// dispatch: ExperimentIDs, Experiments, LookupExperiment, RunExperiment
+// and the CLI's -list output all derive from it. "all" is a first-class
+// entry so listing and dispatch cannot drift. (Filled by init: the
+// "all" entry iterates the registry, which Go's initializer-cycle
+// check would otherwise reject.)
+var registry []Experiment
+
+func init() {
+	registry = []Experiment{
+		{
+			ID:          "fig8",
+			Description: "CilkApps execution time under S+, WS+, W+ and Wee (Fig. 8)",
+			PaperRef:    "Fig. 8",
+			run: func(ctx context.Context, eng *experiments.Engine, o Options) ([]*ExperimentTable, error) {
+				_, t, err := eng.Fig8(ctx, o.Cores, experiments.Scale(o.Scale))
+				return one(t, err)
+			},
+		},
+		{
+			ID:          "fig9",
+			Description: "ustm transactional throughput per design (Fig. 9)",
+			PaperRef:    "Fig. 9",
+			run: func(ctx context.Context, eng *experiments.Engine, o Options) ([]*ExperimentTable, error) {
+				_, t, err := eng.Fig9(ctx, o.Cores, o.Horizon)
+				return one(t, err)
+			},
+		},
+		{
+			ID:          "fig10",
+			Description: "ustm cycles per committed transaction, cycle breakdown (Fig. 10)",
+			PaperRef:    "Fig. 10",
+			run: func(ctx context.Context, eng *experiments.Engine, o Options) ([]*ExperimentTable, error) {
+				_, t, err := eng.Fig10(ctx, o.Cores, o.Horizon)
+				return one(t, err)
+			},
+		},
+		{
+			ID:          "fig11",
+			Description: "STAMP execution time per design (Fig. 11)",
+			PaperRef:    "Fig. 11",
+			run: func(ctx context.Context, eng *experiments.Engine, o Options) ([]*ExperimentTable, error) {
+				_, t, err := eng.Fig11(ctx, o.Cores, experiments.Scale(o.Scale))
+				return one(t, err)
+			},
+		},
+		{
+			ID:          "fig12",
+			Description: "scalability of the mean speedups across core counts (Fig. 12)",
+			PaperRef:    "Fig. 12",
+			run: func(ctx context.Context, eng *experiments.Engine, o Options) ([]*ExperimentTable, error) {
+				_, t, err := eng.Fig12(ctx, experiments.Scale(o.Scale), o.Horizon, o.CoreCounts)
+				return one(t, err)
+			},
+		},
+		{
+			ID:          "table4",
+			Description: "fence/bounce/traffic characterization per group (Table 4)",
+			PaperRef:    "Table 4",
+			run: func(ctx context.Context, eng *experiments.Engine, o Options) ([]*ExperimentTable, error) {
+				t, err := eng.Table4(ctx, o.Cores, experiments.Scale(o.Scale), o.Horizon)
+				return one(t, err)
+			},
+		},
+		{
+			ID:          "headline",
+			Description: "the paper's headline mean speedup comparison (abstract)",
+			PaperRef:    "§1/§9 abstract",
+			run: func(ctx context.Context, eng *experiments.Engine, o Options) ([]*ExperimentTable, error) {
+				_, t, err := eng.Headline(ctx, o.Cores, experiments.Scale(o.Scale), o.Horizon)
+				return one(t, err)
+			},
+		},
+		{
+			ID:          "all",
+			Description: "every artifact above, in paper order (shared cache: repeats are free)",
+			PaperRef:    "§6-7",
+			run:         runAll,
+		},
+	}
+	ExperimentIDs = make([]string, len(registry))
+	for i, e := range registry {
+		ExperimentIDs[i] = e.ID
+	}
+}
+
+// runAll runs every other registry entry on one shared engine, so the
+// overlapping simulations across artifacts resolve as cache hits.
+// (A named function breaks the registry's self-referential
+// initialization cycle.)
+func runAll(ctx context.Context, eng *experiments.Engine, o Options) ([]*ExperimentTable, error) {
+	var out []*ExperimentTable
+	for _, e := range registry {
+		if e.ID == "all" {
+			continue
+		}
+		ts, err := e.run(ctx, eng, o)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}
+
+// Experiments returns the experiment registry in paper order ("all"
+// last). The returned slice is a copy.
+func Experiments() []Experiment {
+	return append([]Experiment(nil), registry...)
+}
+
+// ExperimentIDs lists every registry id, in paper order, "all" last.
+// It derives from the registry (filled alongside it in init), as does
+// the CLI's -list output.
+var ExperimentIDs []string
+
+// LookupExperiment returns the registry entry for id.
+func LookupExperiment(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
 }
 
 // RunExperiment regenerates one of the paper's evaluation artifacts and
 // returns its table(s). Valid ids are listed in ExperimentIDs; DESIGN.md
 // §5 maps each to its paper figure/table and reference result.
+//
+// Deprecated: resolve the experiment with LookupExperiment (or iterate
+// Experiments) and call its Run method, which adds context cancellation,
+// worker-pool control and job accounting.
 func RunExperiment(id string, opts ExperimentOptions) ([]*ExperimentTable, error) {
-	opts.defaults()
-	sc := experiments.Scale(opts.Scale)
-	switch id {
-	case "fig8":
-		_, t, err := experiments.Fig8(opts.Cores, sc)
-		return []*ExperimentTable{t}, err
-	case "fig9":
-		_, t, err := experiments.Fig9(opts.Cores, opts.Horizon)
-		return []*ExperimentTable{t}, err
-	case "fig10":
-		_, t, err := experiments.Fig10(opts.Cores, opts.Horizon)
-		return []*ExperimentTable{t}, err
-	case "fig11":
-		_, t, err := experiments.Fig11(opts.Cores, sc)
-		return []*ExperimentTable{t}, err
-	case "fig12":
-		_, t, err := experiments.Fig12(sc, opts.Horizon, opts.CoreCounts)
-		return []*ExperimentTable{t}, err
-	case "table4":
-		t, err := experiments.Table4(opts.Cores, sc, opts.Horizon)
-		return []*ExperimentTable{t}, err
-	case "headline":
-		_, t, err := experiments.Headline(opts.Cores, sc, opts.Horizon)
-		return []*ExperimentTable{t}, err
-	case "all":
-		var out []*ExperimentTable
-		for _, one := range ExperimentIDs {
-			ts, err := RunExperiment(one, opts)
-			if err != nil {
-				return out, err
-			}
-			out = append(out, ts...)
-		}
-		return out, nil
+	e, ok := LookupExperiment(id)
+	if !ok {
+		return nil, fmt.Errorf("asymfence: unknown experiment %q (valid: %v)", id, ExperimentIDs)
 	}
-	return nil, fmt.Errorf("asymfence: unknown experiment %q (valid: %v, or \"all\")", id, ExperimentIDs)
+	return e.Run(context.Background(), opts)
 }
+
+// FlushSimCache drops every memoized measurement from the process-wide
+// simulation cache. Long-lived hosts can call it to reclaim memory;
+// tests use it to force fresh simulations.
+func FlushSimCache() { experiments.FlushCache() }

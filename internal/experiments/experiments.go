@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,7 +17,6 @@ import (
 	"asymfence/internal/stats"
 	"asymfence/internal/trace"
 	"asymfence/internal/workloads/cilk"
-	"asymfence/internal/workloads/stamp"
 	"asymfence/internal/workloads/stm"
 )
 
@@ -99,11 +99,11 @@ const defaultSeed = 20150314 // the paper's conference date
 
 // RunCilk executes one CilkApps application to completion.
 func RunCilk(p cilk.Profile, d fence.Design, ncores int, scale Scale) (*Measurement, error) {
-	meas, _, err := runCilk(p, d, ncores, scale, nil, 0)
+	meas, _, err := runCilk(context.Background(), p, d, ncores, scale, nil, 0)
 	return meas, err
 }
 
-func runCilk(p cilk.Profile, d fence.Design, ncores int, scale Scale, tr *trace.Tracer, interval int64) (*Measurement, *sim.Result, error) {
+func runCilk(ctx context.Context, p cilk.Profile, d fence.Design, ncores int, scale Scale, tr *trace.Tracer, interval int64) (*Measurement, *sim.Result, error) {
 	p.TasksPerWorker = scale.apply(p.TasksPerWorker)
 	al := mem.NewAllocator(0x1000)
 	store := mem.NewStore()
@@ -117,7 +117,7 @@ func runCilk(p cilk.Profile, d fence.Design, ncores int, scale Scale, tr *trace.
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := m.Run()
+	res, err := m.RunCtx(ctx)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cilk %s under %v: %w", p.Name, d, err)
 	}
@@ -129,11 +129,11 @@ func runCilk(p cilk.Profile, d fence.Design, ncores int, scale Scale, tr *trace.
 // each microbenchmark for a certain fixed time and measure the number of
 // transactions committed").
 func RunUSTM(p stm.Profile, d fence.Design, ncores int, horizon int64) (*Measurement, error) {
-	meas, _, err := runUSTM(p, d, ncores, horizon, nil, 0)
+	meas, _, err := runUSTM(context.Background(), p, d, ncores, horizon, nil, 0)
 	return meas, err
 }
 
-func runUSTM(p stm.Profile, d fence.Design, ncores int, horizon int64, tr *trace.Tracer, interval int64) (*Measurement, *sim.Result, error) {
+func runUSTM(ctx context.Context, p stm.Profile, d fence.Design, ncores int, horizon int64, tr *trace.Tracer, interval int64) (*Measurement, *sim.Result, error) {
 	p.Iterations = 0 // run forever; the horizon stops us
 	al := mem.NewAllocator(0x1000)
 	store := mem.NewStore()
@@ -147,7 +147,10 @@ func runUSTM(p stm.Profile, d fence.Design, ncores int, horizon int64, tr *trace
 	if err != nil {
 		return nil, nil, err
 	}
-	res := m.RunFor(horizon)
+	res, err := m.RunForCtx(ctx, horizon)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ustm %s under %v: %w", p.Name, d, err)
+	}
 	meas := reduce("ustm", p.Name, d, res)
 	meas.Horizon = horizon
 	return meas, res, nil
@@ -155,11 +158,11 @@ func runUSTM(p stm.Profile, d fence.Design, ncores int, horizon int64, tr *trace
 
 // RunSTAMP executes one STAMP application to completion.
 func RunSTAMP(p stm.Profile, d fence.Design, ncores int, scale Scale) (*Measurement, error) {
-	meas, _, err := runSTAMP(p, d, ncores, scale, nil, 0)
+	meas, _, err := runSTAMP(context.Background(), p, d, ncores, scale, nil, 0)
 	return meas, err
 }
 
-func runSTAMP(p stm.Profile, d fence.Design, ncores int, scale Scale, tr *trace.Tracer, interval int64) (*Measurement, *sim.Result, error) {
+func runSTAMP(ctx context.Context, p stm.Profile, d fence.Design, ncores int, scale Scale, tr *trace.Tracer, interval int64) (*Measurement, *sim.Result, error) {
 	p.Iterations = scale.apply(p.Iterations)
 	al := mem.NewAllocator(0x1000)
 	store := mem.NewStore()
@@ -173,7 +176,7 @@ func runSTAMP(p stm.Profile, d fence.Design, ncores int, scale Scale, tr *trace.
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := m.Run()
+	res, err := m.RunCtx(ctx)
 	if err != nil {
 		return nil, nil, fmt.Errorf("stamp %s under %v: %w", p.Name, d, err)
 	}
@@ -200,49 +203,22 @@ func (g *GroupRun) add(m *Measurement) {
 	g.ByApp[m.App][m.Design] = m
 }
 
-// RunCilkGroup measures every CilkApps application under every design.
+// RunCilkGroup measures every CilkApps application under every design
+// (parallel, via a default Engine and the shared measurement cache).
 func RunCilkGroup(ncores int, scale Scale) (*GroupRun, error) {
-	g := newGroupRun("CilkApps")
-	for _, p := range cilk.Apps {
-		for _, d := range Designs {
-			m, err := RunCilk(p, d, ncores, scale)
-			if err != nil {
-				return nil, err
-			}
-			g.add(m)
-		}
-	}
-	return g, nil
+	return NewEngine(EngineOptions{}).RunCilkGroup(context.Background(), ncores, scale)
 }
 
-// RunUSTMGroup measures every ustm microbenchmark under every design.
+// RunUSTMGroup measures every ustm microbenchmark under every design
+// (parallel, via a default Engine and the shared measurement cache).
 func RunUSTMGroup(ncores int, horizon int64) (*GroupRun, error) {
-	g := newGroupRun("ustm")
-	for _, p := range stm.USTM {
-		for _, d := range Designs {
-			m, err := RunUSTM(p, d, ncores, horizon)
-			if err != nil {
-				return nil, err
-			}
-			g.add(m)
-		}
-	}
-	return g, nil
+	return NewEngine(EngineOptions{}).RunUSTMGroup(context.Background(), ncores, horizon)
 }
 
-// RunSTAMPGroup measures every STAMP application under every design.
+// RunSTAMPGroup measures every STAMP application under every design
+// (parallel, via a default Engine and the shared measurement cache).
 func RunSTAMPGroup(ncores int, scale Scale) (*GroupRun, error) {
-	g := newGroupRun("STAMP")
-	for _, p := range stamp.Apps {
-		for _, d := range Designs {
-			m, err := RunSTAMP(p, d, ncores, scale)
-			if err != nil {
-				return nil, err
-			}
-			g.add(m)
-		}
-	}
-	return g, nil
+	return NewEngine(EngineOptions{}).RunSTAMPGroup(context.Background(), ncores, scale)
 }
 
 // MeanExecRatio returns the geometric-mean execution-time ratio of design

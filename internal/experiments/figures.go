@@ -1,12 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"asymfence/internal/experiments/runner"
 	"asymfence/internal/fence"
-	"asymfence/internal/workloads/cilk"
-	"asymfence/internal/workloads/stamp"
-	"asymfence/internal/workloads/stm"
 )
 
 // Quick/full experiment parameters. The paper simulates an 8-core mesh by
@@ -17,13 +16,53 @@ const (
 	USTMHorizon = 60_000
 )
 
+// Package-level figure functions run each artifact on a default engine
+// (GOMAXPROCS workers, shared cache, no narration); the Engine methods
+// below are the primary API and let callers pin worker count, progress
+// narration and cancellation.
+
+// Fig8 reproduces Figure 8; see Engine.Fig8.
+func Fig8(ncores int, scale Scale) (*GroupRun, *Table, error) {
+	return NewEngine(EngineOptions{}).Fig8(context.Background(), ncores, scale)
+}
+
+// Fig9 reproduces Figure 9; see Engine.Fig9.
+func Fig9(ncores int, horizon int64) (*GroupRun, *Table, error) {
+	return NewEngine(EngineOptions{}).Fig9(context.Background(), ncores, horizon)
+}
+
+// Fig10 reproduces Figure 10; see Engine.Fig10.
+func Fig10(ncores int, horizon int64) (*GroupRun, *Table, error) {
+	return NewEngine(EngineOptions{}).Fig10(context.Background(), ncores, horizon)
+}
+
+// Fig11 reproduces Figure 11; see Engine.Fig11.
+func Fig11(ncores int, scale Scale) (*GroupRun, *Table, error) {
+	return NewEngine(EngineOptions{}).Fig11(context.Background(), ncores, scale)
+}
+
+// Fig12 reproduces Figure 12; see Engine.Fig12.
+func Fig12(scale Scale, horizon int64, coreCounts []int) ([]Fig12Row, *Table, error) {
+	return NewEngine(EngineOptions{}).Fig12(context.Background(), scale, horizon, coreCounts)
+}
+
+// Table4 reproduces Table 4; see Engine.Table4.
+func Table4(ncores int, scale Scale, horizon int64) (*Table, error) {
+	return NewEngine(EngineOptions{}).Table4(context.Background(), ncores, scale, horizon)
+}
+
+// Headline computes the paper's summary speedups; see Engine.Headline.
+func Headline(ncores int, scale Scale, horizon int64) (map[fence.Design]float64, *Table, error) {
+	return NewEngine(EngineOptions{}).Headline(context.Background(), ncores, scale, horizon)
+}
+
 // Fig8 reproduces Figure 8: execution time of CilkApps under S+, WS+, W+
 // and Wee, normalized to S+, with the busy / other-stall / fence-stall
 // breakdown. Paper reference: under S+ the group spends ≈13% of its time
 // on fence stall; WS+/W+/Wee cut the remaining stall to 2-4% and reduce
 // execution time by ≈9% on average.
-func Fig8(ncores int, scale Scale) (*GroupRun, *Table, error) {
-	g, err := RunCilkGroup(ncores, scale)
+func (e *Engine) Fig8(ctx context.Context, ncores int, scale Scale) (*GroupRun, *Table, error) {
+	g, err := e.RunCilkGroup(ctx, ncores, scale)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -34,8 +73,8 @@ func Fig8(ncores int, scale Scale) (*GroupRun, *Table, error) {
 // Fig9 reproduces Figure 9: transactional throughput of the ustm
 // microbenchmarks normalized to S+. Paper reference: WS+ +38%, W+ +58%,
 // Wee +14% over S+ on average.
-func Fig9(ncores int, horizon int64) (*GroupRun, *Table, error) {
-	g, err := RunUSTMGroup(ncores, horizon)
+func (e *Engine) Fig9(ctx context.Context, ncores int, horizon int64) (*GroupRun, *Table, error) {
+	g, err := e.RunUSTMGroup(ctx, ncores, horizon)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -64,8 +103,9 @@ func Fig9(ncores int, horizon int64) (*GroupRun, *Table, error) {
 // cycles for ustm, normalized to S+. Paper reference: S+ spends ≈54% of
 // its time on fence stall; WS+ and W+ eliminate half and two thirds of it,
 // taking 24% and 35% fewer cycles per transaction; Wee only 11% fewer.
-func Fig10(ncores int, horizon int64) (*GroupRun, *Table, error) {
-	g, err := RunUSTMGroup(ncores, horizon)
+// Its runs are identical to Fig9's, so with a shared cache they are free.
+func (e *Engine) Fig10(ctx context.Context, ncores int, horizon int64) (*GroupRun, *Table, error) {
+	g, err := e.RunUSTMGroup(ctx, ncores, horizon)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -88,8 +128,8 @@ func Fig10(ncores int, horizon int64) (*GroupRun, *Table, error) {
 // Paper reference: WS+, W+ and Wee reduce mean execution time by 7%, 19%
 // and 11%; intruder (write-heavy) gains far more from W+ than from WS+;
 // labyrinth barely moves.
-func Fig11(ncores int, scale Scale) (*GroupRun, *Table, error) {
-	g, err := RunSTAMPGroup(ncores, scale)
+func (e *Engine) Fig11(ctx context.Context, ncores int, scale Scale) (*GroupRun, *Table, error) {
+	g, err := e.RunSTAMPGroup(ctx, ncores, scale)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -111,8 +151,6 @@ func execTimeTable(title string, g *GroupRun) *Table {
 				Pct(m.Busy), Pct(m.OtherStall), Pct(m.FenceStall))
 		}
 	}
-	avg := []string{"AVG", "", "", "", "", ""}
-	_ = avg
 	for _, d := range Designs {
 		t.AddRow("AVG", d.String(), F(g.MeanExecRatio(d)), "", "", Pct(g.MeanFenceStall(d)))
 	}
@@ -129,13 +167,32 @@ type Fig12Row struct {
 	StallRatio float64
 }
 
+// groupSpecsFor builds one workload group's full app×design block at
+// one machine size.
+func groupSpecsFor(group string, ncores int, scale Scale, horizon int64) []runner.Spec {
+	switch group {
+	case "CilkApps":
+		return cilkSpecs(ncores, scale, Designs)
+	case "ustm":
+		return ustmSpecs(ncores, horizon, Designs)
+	default:
+		return stampSpecs(ncores, scale, Designs)
+	}
+}
+
+// fig12Groups is the group display order of the scalability study.
+var fig12Groups = []string{"CilkApps", "ustm", "STAMP"}
+
 // Fig12 reproduces Figure 12: for each workload group and aggressive
-// design, the ratio of its total fence stall time to S+'s, across 4, 8,
-// 16 and 32 cores. Paper reference: the ratios stay flat or rise only
-// modestly with core count — the designs' effectiveness scales.
-func Fig12(scale Scale, horizon int64, coreCounts []int) ([]Fig12Row, *Table, error) {
+// design, the ratio of its total fence stall time to S+'s, across the
+// given core counts (empty: DefaultCoreCounts). Paper reference: the
+// ratios stay flat or rise only modestly with core count — the designs'
+// effectiveness scales. All (group, core count) simulations are
+// submitted as one flat batch; the default 8-core column is shared with
+// Figs. 8-11 through the measurement cache.
+func (e *Engine) Fig12(ctx context.Context, scale Scale, horizon int64, coreCounts []int) ([]Fig12Row, *Table, error) {
 	if len(coreCounts) == 0 {
-		coreCounts = []int{4, 8, 16, 32}
+		coreCounts = DefaultCoreCounts
 	}
 	aggressive := []fence.Design{fence.WSPlus, fence.WPlus, fence.Wee}
 	t := &Table{
@@ -143,31 +200,40 @@ func Fig12(scale Scale, horizon int64, coreCounts []int) ([]Fig12Row, *Table, er
 		Headers: append([]string{"group", "design"}, coresHeaders(coreCounts)...),
 		Note:    "paper: bars stay flat or rise modestly from 4 to 32 cores",
 	}
-	var rows []Fig12Row
 
-	type groupRunner func(ncores int) (*GroupRun, error)
-	groups := []struct {
-		name string
-		run  groupRunner
-	}{
-		{"CilkApps", func(n int) (*GroupRun, error) { return RunCilkGroup(n, scale) }},
-		{"ustm", func(n int) (*GroupRun, error) { return RunUSTMGroup(n, horizon) }},
-		{"STAMP", func(n int) (*GroupRun, error) { return RunSTAMPGroup(n, scale) }},
+	// One flat batch: every group at every core count.
+	type segment struct {
+		group    string
+		cores    int
+		start, n int
 	}
-	for _, grp := range groups {
-		// One run per core count, reused across designs.
-		byCores := map[int]*GroupRun{}
+	var specs []runner.Spec
+	var segs []segment
+	for _, grp := range fig12Groups {
 		for _, n := range coreCounts {
-			g, err := grp.run(n)
-			if err != nil {
-				return nil, nil, err
-			}
-			byCores[n] = g
+			block := groupSpecsFor(grp, n, scale, horizon)
+			segs = append(segs, segment{grp, n, len(specs), len(block)})
+			specs = append(specs, block...)
 		}
+	}
+	ms, err := e.RunSpecs(ctx, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	byGroupCores := map[string]map[int]*GroupRun{}
+	for _, s := range segs {
+		if byGroupCores[s.group] == nil {
+			byGroupCores[s.group] = map[int]*GroupRun{}
+		}
+		byGroupCores[s.group][s.cores] = groupFrom(s.group, ms[s.start:s.start+s.n])
+	}
+
+	var rows []Fig12Row
+	for _, grp := range fig12Groups {
 		for _, d := range aggressive {
-			cells := []string{grp.name, d.String()}
+			cells := []string{grp, d.String()}
 			for _, n := range coreCounts {
-				g := byCores[n]
+				g := byGroupCores[grp][n]
 				var stall, base uint64
 				for _, app := range g.Apps {
 					stall += g.ByApp[app][d].Agg.FenceStallCycles
@@ -177,7 +243,7 @@ func Fig12(scale Scale, horizon int64, coreCounts []int) ([]Fig12Row, *Table, er
 				if base > 0 {
 					ratio = float64(stall) / float64(base)
 				}
-				rows = append(rows, Fig12Row{Group: grp.name, Design: d, Cores: n, StallRatio: ratio})
+				rows = append(rows, Fig12Row{Group: grp, Design: d, Cores: n, StallRatio: ratio})
 				cells = append(cells, Pct(ratio))
 			}
 			t.AddRow(cells...)
@@ -197,8 +263,9 @@ func coresHeaders(cc []int) []string {
 // Table4 reproduces Table 4: the characterization of the designs at 8
 // cores — fence frequencies per 1000 instructions, Bypass Set occupancy,
 // write bouncing, retries, traffic increase, W+ recoveries, and Wee
-// demotions.
-func Table4(ncores int, scale Scale, horizon int64) (*Table, error) {
+// demotions. Its simulations are the same ones Figs. 8-11 run, so with
+// a shared cache the whole table is assembled from hits.
+func (e *Engine) Table4(ctx context.Context, ncores int, scale Scale, horizon int64) (*Table, error) {
 	t := &Table{
 		Title: "Table 4: characterization of Asymmetric fences (8 cores)",
 		Headers: []string{
@@ -211,26 +278,27 @@ func Table4(ncores int, scale Scale, horizon int64) (*Table, error) {
 		Note: "paper: fences ≈1/1ki (CilkApps, STAMP) and ≈5.7/1ki (ustm); BS 3-5 lines; low bounce/retry; negligible traffic increase; W+ recoveries noticeable only for ustm; Wee demotes ≈half of ustm and ≈a third of STAMP fences, ≈none of CilkApps",
 	}
 
-	groups := []struct {
-		name string
-		run  func(d fence.Design) (*GroupRun, error)
-	}{
-		{"CilkApps", func(d fence.Design) (*GroupRun, error) { return runGroupOneDesign("cilk", d, ncores, scale, horizon) }},
-		{"ustm", func(d fence.Design) (*GroupRun, error) { return runGroupOneDesign("ustm", d, ncores, scale, horizon) }},
-		{"STAMP", func(d fence.Design) (*GroupRun, error) { return runGroupOneDesign("stamp", d, ncores, scale, horizon) }},
+	// One flat batch across all three groups.
+	type segment struct {
+		group    string
+		start, n int
 	}
-	for _, grp := range groups {
-		row := []string{grp.name}
-		var groupRuns = map[fence.Design]*GroupRun{}
-		for _, d := range Designs {
-			g, err := grp.run(d)
-			if err != nil {
-				return nil, err
-			}
-			groupRuns[d] = g
-		}
+	var specs []runner.Spec
+	var segs []segment
+	for _, grp := range fig12Groups {
+		block := groupSpecsFor(grp, ncores, scale, horizon)
+		segs = append(segs, segment{grp, len(specs), len(block)})
+		specs = append(specs, block...)
+	}
+	ms, err := e.RunSpecs(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, seg := range segs {
+		g := groupFrom(seg.group, ms[seg.start:seg.start+seg.n])
+		row := []string{seg.group}
 		agg := func(d fence.Design) (sf1k, wf1k, linesBS, bouncePerWF, retryPerWr, trafficPct, recovPerKwf float64) {
-			g := groupRuns[d]
 			var sf, wf, instr, bounced, retries, recov, bsSum, bsN uint64
 			var bytes, retryBytes uint64
 			for _, app := range g.Apps {
@@ -282,57 +350,25 @@ func Table4(ncores int, scale Scale, horizon int64) (*Table, error) {
 	return t, nil
 }
 
-func runGroupOneDesign(kind string, d fence.Design, ncores int, scale Scale, horizon int64) (*GroupRun, error) {
-	switch kind {
-	case "cilk":
-		g := newGroupRun("CilkApps")
-		for _, p := range cilkApps() {
-			m, err := RunCilk(p, d, ncores, scale)
-			if err != nil {
-				return nil, err
-			}
-			g.add(m)
-		}
-		return g, nil
-	case "ustm":
-		g := newGroupRun("ustm")
-		for _, p := range ustmApps() {
-			m, err := RunUSTM(p, d, ncores, horizon)
-			if err != nil {
-				return nil, err
-			}
-			g.add(m)
-		}
-		return g, nil
-	default:
-		g := newGroupRun("STAMP")
-		for _, p := range stampApps() {
-			m, err := RunSTAMP(p, d, ncores, scale)
-			if err != nil {
-				return nil, err
-			}
-			g.add(m)
-		}
-		return g, nil
-	}
-}
-
 // Headline computes the paper's §1/§9 summary: mean speedups over S+
-// across all three workload groups. Paper reference: WS+ 13%, W+ 21%
-// (and Wee 10%).
-func Headline(ncores int, scale Scale, horizon int64) (map[fence.Design]float64, *Table, error) {
-	cg, err := RunCilkGroup(ncores, scale)
+// across all three workload groups, submitted as one flat batch (all of
+// it shared with Figs. 8/9/11 through the cache). Paper reference:
+// WS+ 13%, W+ 21% (and Wee 10%).
+func (e *Engine) Headline(ctx context.Context, ncores int, scale Scale, horizon int64) (map[fence.Design]float64, *Table, error) {
+	cs := cilkSpecs(ncores, scale, Designs)
+	us := ustmSpecs(ncores, horizon, Designs)
+	ss := stampSpecs(ncores, scale, Designs)
+	specs := make([]runner.Spec, 0, len(cs)+len(us)+len(ss))
+	specs = append(specs, cs...)
+	specs = append(specs, us...)
+	specs = append(specs, ss...)
+	ms, err := e.RunSpecs(ctx, specs)
 	if err != nil {
 		return nil, nil, err
 	}
-	ug, err := RunUSTMGroup(ncores, horizon)
-	if err != nil {
-		return nil, nil, err
-	}
-	sg, err := RunSTAMPGroup(ncores, scale)
-	if err != nil {
-		return nil, nil, err
-	}
+	cg := groupFrom("CilkApps", ms[:len(cs)])
+	ug := groupFrom("ustm", ms[len(cs):len(cs)+len(us)])
+	sg := groupFrom("STAMP", ms[len(cs)+len(us):])
 	t := &Table{
 		Title:   "Headline: mean improvement over S+ (execution time reduction / throughput gain)",
 		Headers: []string{"group", "WS+", "W+", "Wee"},
@@ -370,8 +406,3 @@ func Headline(ncores int, scale Scale, horizon int64) (map[fence.Design]float64,
 	t.AddRow(row...)
 	return speedups, t, nil
 }
-
-// Workload accessors used by runGroupOneDesign.
-func cilkApps() []cilk.Profile { return cilk.Apps }
-func ustmApps() []stm.Profile  { return stm.USTM }
-func stampApps() []stm.Profile { return stamp.Apps }

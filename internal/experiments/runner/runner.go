@@ -1,0 +1,293 @@
+// Package runner is the parallel memoizing engine behind the experiment
+// harness: it executes flat batches of self-describing simulation jobs
+// on a bounded worker pool and merges the results deterministically.
+//
+// Every evaluation artifact of the paper decomposes into independent
+// (workload, design, cores) simulations, and the same simulations recur
+// across artifacts (the headline repeats Figs. 8/9/11's runs; Fig. 12's
+// 8-core column repeats everything again). The runner exploits both
+// facts: a Session fans the jobs of one batch out over Workers
+// goroutines, and a content-keyed Cache — shared across every Session
+// in the process — memoizes each job's result by its canonical Spec
+// key, deduplicating identical jobs within a batch (in-flight joins)
+// and across batches (cache hits).
+//
+// Determinism: the simulator itself is deterministic (internal/sim), so
+// a job's result does not depend on when or where it runs; Run returns
+// results positionally (results[i] belongs to specs[i]); and error
+// selection prefers the lowest-index genuine failure. Rendered tables
+// are therefore byte-identical under Workers=1 and Workers=N — a test
+// in the root package asserts this under the race detector.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"asymfence/internal/fence"
+	"asymfence/internal/trace"
+)
+
+// Spec identifies one simulation job: a single (workload, design,
+// machine size) run. Its Key is the canonical content key the cache
+// memoizes by, so two Specs with equal keys are interchangeable.
+type Spec struct {
+	// Group is the workload group: "cilk", "ustm" or "stamp".
+	Group string
+	// App is the application name within the group.
+	App    string
+	Design fence.Design
+	// Cores is the simulated machine's core count.
+	Cores int
+	// Scale sizes execution-time runs (cilk, stamp); ignored by ustm.
+	Scale float64
+	// Horizon is the throughput-run length in cycles (ustm only).
+	Horizon int64
+}
+
+// Key returns the canonical cache key. Scale is formatted with
+// strconv's shortest round-trip representation so equal values always
+// produce equal keys.
+func (s Spec) Key() string {
+	return s.Group + ":" + s.App + "@" + s.Design.String() +
+		"/p" + strconv.Itoa(s.Cores) +
+		"/s" + strconv.FormatFloat(s.Scale, 'g', -1, 64) +
+		"/h" + strconv.FormatInt(s.Horizon, 10)
+}
+
+// String returns a compact human-readable form for progress narration.
+func (s Spec) String() string {
+	id := s.Group + ":" + s.App + "@" + s.Design.String() + " p" + strconv.Itoa(s.Cores)
+	if s.Horizon > 0 {
+		return id + " h" + strconv.FormatInt(s.Horizon, 10)
+	}
+	return id + " x" + strconv.FormatFloat(s.Scale, 'g', -1, 64)
+}
+
+// entry is one cache slot. done is closed when val/err are final; until
+// then the entry is in flight and joiners wait on it.
+type entry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Cache memoizes job results by Spec key. It is safe for concurrent
+// use and implements in-flight deduplication: the first goroutine to
+// ask for a key becomes its leader and computes the result, later
+// askers block until the leader finishes. Results of canceled runs are
+// never retained.
+type Cache[V any] struct {
+	mu sync.Mutex
+	m  map[string]*entry[V]
+}
+
+// NewCache returns an empty cache.
+func NewCache[V any]() *Cache[V] { return &Cache[V]{m: map[string]*entry[V]{}} }
+
+// Len returns the number of resident entries (including in-flight ones).
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Flush drops every completed entry. In-flight leaders keep their slot
+// so joiners already waiting on them still resolve.
+func (c *Cache[V]) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.m {
+		select {
+		case <-e.done:
+			delete(c.m, k)
+		default:
+		}
+	}
+}
+
+// Stats is a Session's cumulative job accounting across its Run calls.
+type Stats struct {
+	// Jobs is the number of jobs submitted.
+	Jobs int
+	// Hits of those were served from the cache (or joined an identical
+	// in-flight job) without simulating.
+	Hits int
+	// Simulated jobs actually executed. Jobs can exceed Hits+Simulated
+	// when a canceled batch skipped jobs outright.
+	Simulated int
+}
+
+// Options configure a Session.
+type Options struct {
+	// Workers bounds the pool (<=0: GOMAXPROCS).
+	Workers int
+	// Narrator receives per-job progress lines (nil: silent).
+	Narrator *trace.Narrator
+}
+
+// Session executes job batches for one logical experiment run: it pins
+// the worker count and narrator, shares a Cache (usually process-wide),
+// and accumulates Stats across its Run calls.
+type Session[V any] struct {
+	cache   *Cache[V]
+	exec    func(context.Context, Spec) (V, error)
+	workers int
+	nar     *trace.Narrator
+
+	jobs, hits, sims atomic.Int64
+}
+
+// NewSession builds a session executing jobs with exec and memoizing
+// results in cache.
+func NewSession[V any](cache *Cache[V], exec func(context.Context, Spec) (V, error), opts Options) *Session[V] {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Session[V]{cache: cache, exec: exec, workers: w, nar: opts.Narrator}
+}
+
+// Stats returns the session's cumulative accounting.
+func (s *Session[V]) Stats() Stats {
+	return Stats{
+		Jobs:      int(s.jobs.Load()),
+		Hits:      int(s.hits.Load()),
+		Simulated: int(s.sims.Load()),
+	}
+}
+
+// Run executes every spec and returns the results positionally:
+// results[i] belongs to specs[i], whatever the scheduling, so callers
+// merge deterministically. On failure it returns the lowest-index
+// genuine error; if the batch was only canceled, the error wraps
+// ctx's cancellation cause so errors.Is(err, context.Canceled) holds.
+func (s *Session[V]) Run(ctx context.Context, specs []Spec) ([]V, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	s.jobs.Add(int64(len(specs)))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]V, len(specs))
+	errs := make([]error, len(specs))
+	var next, completed atomic.Int64
+	workers := s.workers
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(specs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				v, hit, err := s.one(ctx, specs[i])
+				results[i], errs[i] = v, err
+				done := completed.Add(1)
+				switch {
+				case err != nil:
+					s.nar.Say("job %3d/%d  %-34s FAILED: %v", done, len(specs), specs[i], err)
+					// Fail fast: stop scheduling and interrupt running
+					// simulations. Error selection below still prefers
+					// this genuine failure over induced cancellations.
+					cancel()
+				case hit:
+					s.nar.Say("job %3d/%d  %-34s cache hit", done, len(specs), specs[i])
+				default:
+					s.nar.Say("job %3d/%d  %-34s simulated", done, len(specs), specs[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var firstErr error
+	for _, e := range errs {
+		if e != nil && !isCancel(e) {
+			firstErr = e
+			break
+		}
+	}
+	if firstErr == nil {
+		for _, e := range errs {
+			if e != nil {
+				firstErr = fmt.Errorf("runner: batch aborted after %d of %d jobs: %w",
+					completed.Load(), len(specs), e)
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// one resolves a single spec against the cache, executing it if this
+// goroutine becomes the key's leader. hit reports whether the result
+// came from the cache or an in-flight join rather than a fresh
+// execution.
+func (s *Session[V]) one(ctx context.Context, sp Spec) (v V, hit bool, err error) {
+	key := sp.Key()
+	for {
+		s.cache.mu.Lock()
+		e, ok := s.cache.m[key]
+		if !ok {
+			e = &entry[V]{done: make(chan struct{})}
+			s.cache.m[key] = e
+			s.cache.mu.Unlock()
+
+			e.val, e.err = s.exec(ctx, sp)
+			s.sims.Add(1)
+			if e.err != nil && isCancel(e.err) {
+				// A canceled run is not a result: forget the slot so a
+				// later, uncanceled caller re-executes.
+				s.cache.mu.Lock()
+				if s.cache.m[key] == e {
+					delete(s.cache.m, key)
+				}
+				s.cache.mu.Unlock()
+			}
+			close(e.done)
+			return e.val, false, e.err
+		}
+		s.cache.mu.Unlock()
+
+		select {
+		case <-e.done:
+			if e.err != nil && isCancel(e.err) {
+				// The leader we joined was canceled; retry (we may
+				// become the new leader) unless we are canceled too.
+				if cerr := ctx.Err(); cerr != nil {
+					var zero V
+					return zero, false, cerr
+				}
+				continue
+			}
+			s.hits.Add(1)
+			return e.val, true, e.err
+		case <-ctx.Done():
+			var zero V
+			return zero, false, ctx.Err()
+		}
+	}
+}
+
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

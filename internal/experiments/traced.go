@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -87,8 +88,9 @@ type TraceRun struct {
 }
 
 // RunTraced executes one (group, app) workload under the given design
-// with event tracing and interval sampling enabled.
-func RunTraced(group, app string, d fence.Design, opts TraceOptions) (*TraceRun, error) {
+// with event tracing and interval sampling enabled. The run honors
+// ctx cancellation like the experiment engine does.
+func RunTraced(ctx context.Context, group, app string, d fence.Design, opts TraceOptions) (*TraceRun, error) {
 	opts.defaults()
 	tr := trace.New(trace.Options{Mask: opts.Mask, MaxEvents: opts.MaxEvents})
 	meas, res, err := func() (*Measurement, *sim.Result, error) {
@@ -96,19 +98,19 @@ func RunTraced(group, app string, d fence.Design, opts TraceOptions) (*TraceRun,
 		case "cilk":
 			for _, p := range cilk.Apps {
 				if p.Name == app {
-					return runCilk(p, d, opts.NCores, opts.Scale, tr, opts.SampleInterval)
+					return runCilk(ctx, p, d, opts.NCores, opts.Scale, tr, opts.SampleInterval)
 				}
 			}
 		case "ustm":
 			for _, p := range stm.USTM {
 				if p.Name == app {
-					return runUSTM(p, d, opts.NCores, opts.Horizon, tr, opts.SampleInterval)
+					return runUSTM(ctx, p, d, opts.NCores, opts.Horizon, tr, opts.SampleInterval)
 				}
 			}
 		case "stamp":
 			for _, p := range stamp.Apps {
 				if p.Name == app {
-					return runSTAMP(p, d, opts.NCores, opts.Scale, tr, opts.SampleInterval)
+					return runSTAMP(ctx, p, d, opts.NCores, opts.Scale, tr, opts.SampleInterval)
 				}
 			}
 		default:

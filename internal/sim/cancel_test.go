@@ -1,0 +1,73 @@
+package sim_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"asymfence/internal/isa"
+	"asymfence/internal/mem"
+	"asymfence/internal/sim"
+)
+
+func spinProgram() *isa.Program {
+	b := isa.NewBuilder("spin")
+	b.Label("l")
+	b.AddI(1, 1, 1)
+	b.Jmp("l")
+	return b.MustBuild()
+}
+
+func TestRunCtxCancelStopsPromptly(t *testing.T) {
+	m, err := sim.New(sim.Config{NCores: 1, MaxCycles: 50_000_000},
+		[]*isa.Program{spinProgram()}, mem.NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := m.RunCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want wrapped context.Canceled", err)
+	}
+	// The poll period bounds how far past the cancellation the loop runs.
+	if res.Cycles > 4096 {
+		t.Fatalf("canceled run still executed %d cycles", res.Cycles)
+	}
+}
+
+func TestRunForCtxCancelStopsPromptly(t *testing.T) {
+	m, err := sim.New(sim.Config{NCores: 1}, []*isa.Program{spinProgram()}, mem.NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := m.RunForCtx(ctx, 50_000_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want wrapped context.Canceled", err)
+	}
+	if res.Cycles > 4096 {
+		t.Fatalf("canceled run still executed %d cycles", res.Cycles)
+	}
+}
+
+func TestRunCtxBackgroundMatchesRun(t *testing.T) {
+	// A never-canceled context must not change behavior or results.
+	build := func() *sim.Machine {
+		m, err := sim.New(sim.Config{NCores: 1, MaxCycles: 5000},
+			[]*isa.Program{spinProgram()}, mem.NewStore())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	r1, err1 := build().Run()
+	r2, err2 := build().RunCtx(context.Background())
+	if !errors.Is(err1, sim.ErrHorizon) || !errors.Is(err2, sim.ErrHorizon) {
+		t.Fatalf("errors: %v vs %v", err1, err2)
+	}
+	if r1.Cycles != r2.Cycles {
+		t.Fatalf("cycle counts diverge: %d vs %d", r1.Cycles, r2.Cycles)
+	}
+}

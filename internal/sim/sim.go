@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -225,15 +226,40 @@ func (m *Machine) result(finished bool) *Result {
 	return r
 }
 
+// cancelPollMask sets how often the cycle loops poll for cancellation:
+// every cancelPollMask+1 cycles. Polling is skipped entirely for
+// contexts that can never be canceled (Done() == nil), so Run and
+// RunFor cost nothing extra.
+const cancelPollMask = 1023
+
+// canceled wraps the context's error with the interruption cycle so
+// errors.Is(err, context.Canceled) holds for callers up the stack.
+func (m *Machine) canceled(ctx context.Context) error {
+	return fmt.Errorf("sim: run canceled at cycle %d: %w", m.cycle, ctx.Err())
+}
+
 // Run executes until every core halts, the horizon is reached, or the
 // watchdog detects a deadlock.
-func (m *Machine) Run() (*Result, error) {
+func (m *Machine) Run() (*Result, error) { return m.RunCtx(context.Background()) }
+
+// RunCtx is Run with cooperative cancellation: the cycle loop polls ctx
+// every few thousand cycles and, once it is canceled, returns the
+// partial result with an error wrapping context.Canceled.
+func (m *Machine) RunCtx(ctx context.Context) (*Result, error) {
+	done := ctx.Done()
 	lastProgress := m.cycle
 	lastRetired := m.totalRetired()
 	for m.cycle < m.cfg.MaxCycles {
 		m.Step()
 		if m.Finished() {
 			return m.result(true), nil
+		}
+		if done != nil && m.cycle&cancelPollMask == 0 {
+			select {
+			case <-done:
+				return m.result(false), m.canceled(ctx)
+			default:
+			}
 		}
 		if r := m.totalRetired(); r != lastRetired {
 			lastRetired = r
@@ -248,11 +274,25 @@ func (m *Machine) Run() (*Result, error) {
 // RunFor executes exactly n cycles (throughput experiments run to a fixed
 // horizon and report committed transactions).
 func (m *Machine) RunFor(n int64) *Result {
+	r, _ := m.RunForCtx(context.Background(), n)
+	return r
+}
+
+// RunForCtx is RunFor with cooperative cancellation; see RunCtx.
+func (m *Machine) RunForCtx(ctx context.Context, n int64) (*Result, error) {
+	done := ctx.Done()
 	end := m.cycle + n
 	for m.cycle < end {
 		m.Step()
+		if done != nil && m.cycle&cancelPollMask == 0 {
+			select {
+			case <-done:
+				return m.result(false), m.canceled(ctx)
+			default:
+			}
+		}
 	}
-	return m.result(m.Finished())
+	return m.result(m.Finished()), nil
 }
 
 func (m *Machine) totalRetired() uint64 {

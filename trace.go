@@ -1,6 +1,7 @@
 package asymfence
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -105,9 +106,11 @@ func ParseDesign(s string) (Design, error) {
 
 // TraceWorkload executes one (group, app) workload under the given
 // design with cycle-level event tracing and interval sampling enabled,
-// e.g. TraceWorkload("cilk", "fib", asymfence.WSPlus, TraceOptions{}).
-func TraceWorkload(group, app string, d Design, opts TraceOptions) (*TraceResult, error) {
-	run, err := experiments.RunTraced(group, app, d, experiments.TraceOptions{
+// e.g. TraceWorkload(ctx, "cilk", "fib", asymfence.WSPlus,
+// TraceOptions{}). Cancel ctx to abort the run; the error then wraps
+// context.Canceled.
+func TraceWorkload(ctx context.Context, group, app string, d Design, opts TraceOptions) (*TraceResult, error) {
+	run, err := experiments.RunTraced(ctx, group, app, d, experiments.TraceOptions{
 		NCores:         opts.Cores,
 		Scale:          experiments.Scale(opts.Scale),
 		Horizon:        opts.Horizon,
