@@ -3,9 +3,10 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-runner smoke bench
+.PHONY: check fmt vet doccheck build test race race-runner smoke bench \
+	bench-snapshot bench-baseline
 
-check: fmt vet build test race-runner smoke
+check: fmt vet doccheck build test race-runner smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -15,6 +16,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Documentation lint (tools/doccheck): package docs everywhere, doc
+# comments on every exported identifier in internal packages.
+doccheck:
+	$(GO) run ./tools/doccheck ./internal/... ./cmd/... ./examples/... .
+	$(GO) run ./tools/doccheck -exported ./internal/...
 
 build:
 	$(GO) build ./...
@@ -40,6 +47,21 @@ race-runner:
 smoke:
 	$(GO) run ./cmd/asymsim -scale 0.1 -horizon 20000 -j 4 headline
 
-# Perf snapshot of every (workload, design) pair -> BENCH_<date>.json.
+# Short per-subsystem microbenchmarks (NoC, cache, directory, cycle
+# kernel). Quick enough for the inner loop; see PERFORMANCE.md for how
+# to read and extend them.
 bench:
+	$(GO) test -run XX -bench . -benchtime 200ms \
+		./internal/noc/ ./internal/cache/ ./internal/coherence/ ./internal/sim/
+
+# Perf snapshot of every (workload, design) pair -> BENCH_<date>.json.
+bench-snapshot:
 	$(GO) run ./cmd/asymsim bench
+
+# Checked-in cycle-kernel baseline (BENCH_PR4.json): cycles/sec, ns/op
+# and allocs per fence design at 8 and 64 cores, plus the sequential
+# `-q -seq all` wall clock. Set BEFORE=<old.json> to record a speedup
+# comparison against a previous snapshot.
+bench-baseline:
+	$(GO) run ./cmd/asymsim benchkernel -out BENCH_PR4.json \
+		$(if $(BEFORE),-before $(BEFORE))

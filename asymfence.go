@@ -16,7 +16,8 @@
 //     transactional memory (the RSTM ustm microbenchmarks and STAMP
 //     application profiles), plus the Bakery and Dekker litmus programs;
 //   - an experiment harness that regenerates every figure and table of
-//     the paper's evaluation (Figs. 8-12, Table 4 — see RunExperiment).
+//     the paper's evaluation (Figs. 8-12, Table 4) through a typed
+//     registry — see Experiments, LookupExperiment and Experiment.Run.
 //
 // # Quickstart
 //

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"asymfence"
+)
+
+// kernelRow is one (design, cores) perf data point of the cycle kernel:
+// a fixed-horizon ustm:List run, so the simulated cycle count is
+// identical across designs and snapshots and cycles/sec is directly
+// comparable.
+type kernelRow struct {
+	Design string `json:"design"`
+	Cores  int    `json:"cores"`
+	// Cycles is the number of simulated cycles (the fixed horizon).
+	Cycles int64 `json:"cycles"`
+	// Seconds is the wall-clock time of the run.
+	Seconds float64 `json:"seconds"`
+	// CyclesPerSec is simulated cycles per wall-clock second.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// NsPerCycle is wall-clock nanoseconds per simulated cycle.
+	NsPerCycle float64 `json:"ns_per_cycle"`
+	// AllocsPerKCycles is heap allocations per 1000 simulated cycles.
+	AllocsPerKCycles float64 `json:"allocs_per_1k_cycles"`
+}
+
+// kernelSnapshot is one full measurement pass: the per-(design, cores)
+// kernel rows plus the wall-clock of the sequential full experiment
+// suite (the acceptance metric of PERFORMANCE.md).
+type kernelSnapshot struct {
+	Date string `json:"date"`
+	Go   string `json:"go"`
+	// WallAllSeconds is the wall-clock of `asymsim -q -seq all`
+	// (measured in-process: every experiment, one worker, cold cache).
+	WallAllSeconds float64     `json:"wall_all_seconds"`
+	Kernel         []kernelRow `json:"kernel"`
+}
+
+// benchBaselineFile is the BENCH_PR4.json layout: the post-optimization
+// snapshot, optionally the pre-optimization snapshot it is compared
+// against, and the headline speedups derived from the two.
+type benchBaselineFile struct {
+	Schema  string `json:"schema"`
+	Command string `json:"command"`
+	// KernelWorkload documents what the kernel rows measure.
+	KernelWorkload string          `json:"kernel_workload"`
+	Before         *kernelSnapshot `json:"before,omitempty"`
+	After          kernelSnapshot  `json:"after"`
+	// SpeedupWallAll is before/after wall-clock of the sequential suite.
+	SpeedupWallAll float64 `json:"speedup_wall_all,omitempty"`
+	// SpeedupKernelGeomean is the geometric-mean cycles/sec ratio over
+	// the kernel rows.
+	SpeedupKernelGeomean float64 `json:"speedup_kernel_geomean,omitempty"`
+}
+
+// benchKernelCmd handles `asymsim benchkernel`: a machine-readable
+// performance snapshot of the simulation kernel itself (as opposed to
+// `asymsim bench`, which snapshots simulated results). With -before it
+// merges a prior snapshot and computes speedups; `make bench-baseline`
+// uses it to regenerate BENCH_PR4.json. See PERFORMANCE.md.
+func benchKernelCmd(ctx context.Context, args []string) int {
+	fs := flag.NewFlagSet("asymsim benchkernel", flag.ExitOnError)
+	out := fs.String("out", "", "output file (default: stdout)")
+	before := fs.String("before", "", "prior snapshot to compare against (its 'after' or bare snapshot)")
+	horizon := fs.Int64("horizon", 120_000, "kernel-row run length in cycles")
+	skipAll := fs.Bool("skip-all", false, "skip the sequential full-suite wall-clock measurement")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: asymsim benchkernel [flags]\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	snap := kernelSnapshot{
+		Date: time.Now().Format("2006-01-02"),
+		Go:   runtime.Version(),
+	}
+
+	for _, cores := range []int{8, 64} {
+		for _, d := range asymfence.AllDesigns {
+			row, err := kernelPoint(d, cores, *horizon)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "asymsim benchkernel:", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "asymsim benchkernel: %-4s %2d cores: %.2fs, %.0f cycles/s, %.1f allocs/kcycle\n",
+				row.Design, row.Cores, row.Seconds, row.CyclesPerSec, row.AllocsPerKCycles)
+			snap.Kernel = append(snap.Kernel, row)
+		}
+	}
+
+	if !*skipAll {
+		sec, err := timeSequentialAll(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asymsim benchkernel:", err)
+			return 1
+		}
+		snap.WallAllSeconds = sec
+		fmt.Fprintf(os.Stderr, "asymsim benchkernel: sequential all: %.1fs\n", sec)
+	}
+
+	file := &benchBaselineFile{
+		Schema:         "asymfence-bench-kernel/v1",
+		Command:        "asymsim benchkernel",
+		KernelWorkload: fmt.Sprintf("ustm:List, fixed %d-cycle horizon, per design at 8 and 64 cores", *horizon),
+		After:          snap,
+	}
+	if *before != "" {
+		prior, err := loadSnapshot(*before)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asymsim benchkernel:", err)
+			return 1
+		}
+		file.Before = prior
+		if prior.WallAllSeconds > 0 && snap.WallAllSeconds > 0 {
+			file.SpeedupWallAll = round3(prior.WallAllSeconds / snap.WallAllSeconds)
+		}
+		file.SpeedupKernelGeomean = round3(kernelGeomean(prior.Kernel, snap.Kernel))
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asymsim benchkernel:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "asymsim benchkernel:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "asymsim benchkernel: wrote %s\n", *out)
+	return 0
+}
+
+// kernelPoint measures one (design, cores) kernel row.
+func kernelPoint(d asymfence.Design, cores int, horizon int64) (kernelRow, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if _, err := asymfence.RunUSTMBenchmark("List", d, cores, horizon); err != nil {
+		return kernelRow{}, fmt.Errorf("%v at %d cores: %w", d, cores, err)
+	}
+	sec := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	allocs := float64(after.Mallocs - before.Mallocs)
+	return kernelRow{
+		Design:           d.String(),
+		Cores:            cores,
+		Cycles:           horizon,
+		Seconds:          round3(sec),
+		CyclesPerSec:     round3(float64(horizon) / sec),
+		NsPerCycle:       round3(sec * 1e9 / float64(horizon)),
+		AllocsPerKCycles: round3(allocs * 1000 / float64(horizon)),
+	}, nil
+}
+
+// timeSequentialAll measures the wall-clock of the full experiment suite
+// on one worker with a cold measurement cache — the in-process
+// equivalent of `asymsim -q -seq all`.
+func timeSequentialAll(ctx context.Context) (float64, error) {
+	asymfence.FlushSimCache()
+	exp, ok := asymfence.LookupExperiment("all")
+	if !ok {
+		return 0, fmt.Errorf("experiment %q not registered", "all")
+	}
+	start := time.Now()
+	if _, err := exp.Run(ctx, asymfence.Options{Jobs: 1, Progress: io.Discard}); err != nil {
+		return 0, err
+	}
+	return round3(time.Since(start).Seconds()), nil
+}
+
+// loadSnapshot reads a prior measurement: either a bare snapshot (the
+// -out of a run without -before) or a full BENCH_PR4.json, whose
+// "after" section is used.
+func loadSnapshot(path string) (*kernelSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var file benchBaselineFile
+	if err := json.Unmarshal(data, &file); err == nil && len(file.After.Kernel) > 0 {
+		return &file.After, nil
+	}
+	var snap kernelSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: not a benchkernel snapshot: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// kernelGeomean returns the geometric mean of per-row cycles/sec ratios
+// (after over before) across rows present in both snapshots.
+func kernelGeomean(before, after []kernelRow) float64 {
+	type key struct {
+		design string
+		cores  int
+	}
+	prior := map[key]kernelRow{}
+	for _, r := range before {
+		prior[key{r.Design, r.Cores}] = r
+	}
+	prod, n := 1.0, 0
+	for _, r := range after {
+		b, ok := prior[key{r.Design, r.Cores}]
+		if !ok || b.CyclesPerSec == 0 {
+			continue
+		}
+		prod *= r.CyclesPerSec / b.CyclesPerSec
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}
+
+func round3(x float64) float64 {
+	return float64(int64(x*1000+0.5)) / 1000
+}

@@ -66,6 +66,8 @@ func main() {
 			os.Exit(traceCmd(ctx, os.Args[2:]))
 		case "bench":
 			os.Exit(benchCmd(ctx, os.Args[2:]))
+		case "benchkernel":
+			os.Exit(benchKernelCmd(ctx, os.Args[2:]))
 		}
 	}
 

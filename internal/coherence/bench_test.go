@@ -1,0 +1,32 @@
+package coherence
+
+import (
+	"testing"
+
+	"asymfence/internal/mem"
+	"asymfence/internal/noc"
+)
+
+// BenchmarkDirectoryGetS measures the directory's request hot path: a
+// steady GetS stream over a rotating line set, with the per-cycle timer
+// pump and a full delivery sweep (the same work the simulator performs
+// for a directory each cycle). Steady state reuses pooled timer-heap
+// and mesh-heap storage, so allocations should be near zero.
+func BenchmarkDirectoryGetS(b *testing.B) {
+	mesh := noc.NewMesh[Msg](2, 2)
+	d := NewDirectory(0, 4, mesh, 128*1024, NewGRT())
+	buf := make([]Packet, 0, 8)
+	now := int64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now++
+		// Stride by nbanks lines so every line homes at this bank.
+		line := mem.Line((uint32(i) % 512) * 4 * mem.LineSize)
+		d.Handle(now, Msg{Type: GetS, Line: line, Core: 1 + i%3, ReqID: uint64(i)})
+		d.Step(now)
+		for n := 0; n < 4; n++ {
+			buf = mesh.DeliverInto(now, n, buf[:0])
+		}
+	}
+}

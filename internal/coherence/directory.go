@@ -1,8 +1,8 @@
 package coherence
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -11,6 +11,14 @@ import (
 	"asymfence/internal/noc"
 	"asymfence/internal/trace"
 )
+
+// Fabric is the interconnect carrying coherence messages. The mesh is
+// generic over its payload so protocol messages travel unboxed; every
+// component of one machine shares a single Fabric instance.
+type Fabric = noc.Mesh[Msg]
+
+// Packet is a coherence message in flight on the Fabric.
+type Packet = noc.Packet[Msg]
 
 // Default storage latencies (Table 2): the local L2 bank round trip and
 // the off-chip memory round trip. Mesh hop latency is added on top by the
@@ -60,29 +68,80 @@ type dirLine struct {
 	queue   []Msg // requests deferred while the line is busy
 }
 
+// timerKind names the deferred action a timer fires. Timers used to be
+// closures, but a closure costs two heap allocations (func value +
+// captured variables) on the GetS/GetM fast path; a tagged struct with
+// the two possible payloads costs none.
+type timerKind uint8
+
+const (
+	// tGetSData: the storage latency of a GetS served by this bank has
+	// elapsed; grant E or S based on the line's state at fire time.
+	tGetSData timerKind = iota
+	// tGetMData: the storage (or local) latency of a GetM that needed no
+	// remote invalidations has elapsed; complete the transaction.
+	tGetMData
+)
+
 type timer struct {
 	cycle int64
 	seq   uint64
-	fn    func(now int64)
+	kind  timerKind
+	dl    *dirLine
+	txn   *txn // tGetMData
+	msg   Msg  // tGetSData: the original request
 }
 
+// timerHeap is a hand-rolled binary min-heap on (cycle, seq), avoiding
+// container/heap's per-operation interface boxing.
 type timerHeap []timer
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
+func (h timerHeap) less(i, j int) bool {
 	if h[i].cycle != h[j].cycle {
 		return h[i].cycle < h[j].cycle
 	}
 	return h[i].seq < h[j].seq
 }
-func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timer)) }
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *timerHeap) push(t timer) {
+	*h = append(*h, t)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *timerHeap) pop() timer {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = timer{}
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return top
 }
 
 // DirStats counts directory-side protocol events.
@@ -189,7 +248,7 @@ func (t *CFTable) AnyActive(group int32, snap []CFEntry) bool {
 type Directory struct {
 	bank   int
 	nbanks int
-	mesh   *noc.Mesh
+	mesh   *Fabric
 	l2     *cache.Cache
 	grt    *GRT
 	cft    *CFTable
@@ -209,7 +268,7 @@ type Directory struct {
 // l2BytesPerBank is the bank's L2 capacity (Table 2: 128 KB, 8-way).
 // All modules of one machine share the same GRT instance; the C-Fence
 // associate table is only consulted at node 0 (it is centralized).
-func NewDirectory(bank, nbanks int, mesh *noc.Mesh, l2BytesPerBank int, grt *GRT) *Directory {
+func NewDirectory(bank, nbanks int, mesh *Fabric, l2BytesPerBank int, grt *GRT) *Directory {
 	return &Directory{
 		bank:   bank,
 		nbanks: nbanks,
@@ -235,30 +294,46 @@ func (d *Directory) entry(l mem.Line) *dirLine {
 	return dl
 }
 
-func (d *Directory) at(now, delay int64, fn func(now int64)) {
+func (d *Directory) at(now, delay int64, t timer) {
 	d.timerSeq++
-	heap.Push(&d.timers, timer{cycle: now + delay, seq: d.timerSeq, fn: fn})
+	t.cycle = now + delay
+	t.seq = d.timerSeq
+	d.timers.push(t)
 }
 
 func (d *Directory) send(now int64, dst int, m Msg, cat noc.Category) {
 	if m.Retry {
 		cat = noc.CatRetry
 	}
-	d.mesh.Send(now, noc.Packet{Src: d.bank, Dst: dst, Size: m.Size(), Cat: cat, Payload: m})
+	d.mesh.Send(now, Packet{Src: d.bank, Dst: dst, Size: m.Size(), Cat: cat, Payload: m})
 }
 
 // Step fires any due internal timers (storage latencies etc).
 func (d *Directory) Step(now int64) {
-	for d.timers.Len() > 0 && d.timers[0].cycle <= now {
-		t := heap.Pop(&d.timers).(timer)
-		t.fn(now)
+	for len(d.timers) > 0 && d.timers[0].cycle <= now {
+		t := d.timers.pop()
+		switch t.kind {
+		case tGetSData:
+			d.fireGetSData(now, t.dl, t.msg)
+		case tGetMData:
+			d.completeGetM(now, t.dl, t.txn)
+		}
 	}
+}
+
+// NextTimer returns the cycle of the earliest pending timer, or
+// math.MaxInt64 when none is armed (quiescence-aware stepping bound).
+func (d *Directory) NextTimer() int64 {
+	if len(d.timers) == 0 {
+		return math.MaxInt64
+	}
+	return d.timers[0].cycle
 }
 
 // Pending reports whether the module has in-flight work (used by the
 // simulator's quiesce detection).
 func (d *Directory) Pending() bool {
-	if d.timers.Len() > 0 {
+	if len(d.timers) > 0 {
 		return true
 	}
 	for _, dl := range d.lines {
@@ -367,18 +442,23 @@ func (d *Directory) startGetS(now int64, dl *dirLine, m Msg) {
 	t := &txn{kind: txnGetS, req: m.Core, reqID: m.ReqID, line: m.Line}
 	dl.busy = t
 	lat := d.storageLatency(m.Line)
-	d.at(now, lat, func(now int64) {
-		if dl.sharers == 0 && dl.owner < 0 {
-			dl.owner = m.Core
-			d.tr.Emit(now, trace.KDirGrant, int32(d.bank), uint64(m.Line), int64(m.Core), int64(GrantE), 0)
-			d.send(now, m.Core, Msg{Type: GrantE, Line: m.Line, Core: m.Core, ReqID: m.ReqID}, noc.CatProtocol)
-		} else {
-			dl.sharers |= 1 << uint(m.Core)
-			d.tr.Emit(now, trace.KDirGrant, int32(d.bank), uint64(m.Line), int64(m.Core), int64(GrantS), 0)
-			d.send(now, m.Core, Msg{Type: GrantS, Line: m.Line, Core: m.Core, ReqID: m.ReqID}, noc.CatProtocol)
-		}
-		d.finish(now, dl)
-	})
+	d.at(now, lat, timer{kind: tGetSData, dl: dl, msg: m})
+}
+
+// fireGetSData completes a GetS whose data came from this bank (or
+// memory): the storage latency has elapsed, so grant E or S based on the
+// line's state now.
+func (d *Directory) fireGetSData(now int64, dl *dirLine, m Msg) {
+	if dl.sharers == 0 && dl.owner < 0 {
+		dl.owner = m.Core
+		d.tr.Emit(now, trace.KDirGrant, int32(d.bank), uint64(m.Line), int64(m.Core), int64(GrantE), 0)
+		d.send(now, m.Core, Msg{Type: GrantE, Line: m.Line, Core: m.Core, ReqID: m.ReqID}, noc.CatProtocol)
+	} else {
+		dl.sharers |= 1 << uint(m.Core)
+		d.tr.Emit(now, trace.KDirGrant, int32(d.bank), uint64(m.Line), int64(m.Core), int64(GrantS), 0)
+		d.send(now, m.Core, Msg{Type: GrantS, Line: m.Line, Core: m.Core, ReqID: m.ReqID}, noc.CatProtocol)
+	}
+	d.finish(now, dl)
 }
 
 func (d *Directory) startGetM(now int64, dl *dirLine, m Msg) {
@@ -424,7 +504,7 @@ func (d *Directory) startGetM(now int64, dl *dirLine, m Msg) {
 		if dl.sharers&(1<<uint(m.Core)) == 0 {
 			lat = d.storageLatency(m.Line)
 		}
-		d.at(now, lat, func(now int64) { d.completeGetM(now, dl, t) })
+		d.at(now, lat, timer{kind: tGetMData, dl: dl, txn: t})
 	}
 }
 
@@ -622,7 +702,7 @@ func (d *Directory) DebugState() string {
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].line < rows[j].line })
 	var b strings.Builder
-	fmt.Fprintf(&b, "dir bank %d: %d busy line(s), %d timer(s)", d.bank, len(rows), d.timers.Len())
+	fmt.Fprintf(&b, "dir bank %d: %d busy line(s), %d timer(s)", d.bank, len(rows), len(d.timers))
 	for _, r := range rows {
 		fmt.Fprintf(&b, "\n  line %#x: busy=%v queued=%d", uint32(r.line), r.busy, r.queued)
 	}

@@ -10,13 +10,13 @@ import (
 // harness drives one directory module directly, collecting the messages
 // it sends through a real mesh.
 type harness struct {
-	mesh *noc.Mesh
+	mesh *Fabric
 	dir  *Directory
 	now  int64
 }
 
 func newHarness() *harness {
-	mesh := noc.NewMesh(2, 2)
+	mesh := noc.NewMesh[Msg](2, 2)
 	grt := NewGRT()
 	return &harness{mesh: mesh, dir: NewDirectory(0, 4, mesh, 128*1024, grt)}
 }
@@ -30,7 +30,7 @@ func (h *harness) drain() []Msg {
 		h.dir.Step(h.now)
 		for n := 0; n < 4; n++ {
 			for _, pkt := range h.mesh.Deliver(h.now, n) {
-				out = append(out, pkt.Payload.(Msg))
+				out = append(out, pkt.Payload)
 			}
 		}
 		if !h.mesh.Pending() && !h.dir.Pending() {

@@ -96,6 +96,7 @@ var msgNames = [...]string{
 	CFQuery: "CFQuery", CFQueryAck: "CFQueryAck", CFDeregister: "CFDeregister",
 }
 
+// String returns the message type's wire name (for traces and tests).
 func (t MsgType) String() string {
 	if int(t) < len(msgNames) {
 		return msgNames[t]

@@ -13,6 +13,8 @@
 package cpu
 
 import (
+	"math"
+
 	"asymfence/internal/cache"
 	"asymfence/internal/coherence"
 	"asymfence/internal/fence"
@@ -56,6 +58,12 @@ type Config struct {
 	// Tracer receives this core's fence-lifecycle and write-buffer
 	// events. Nil (the default) disables tracing at zero cost.
 	Tracer *trace.Tracer
+
+	// NoIdleSleep disables the idle-cycle memoization fast path, forcing
+	// a full pipeline evaluation every cycle. Results are identical
+	// either way (the equivalence test in internal/sim asserts it); the
+	// switch exists for that cross-check and for debugging.
+	NoIdleSleep bool
 }
 
 func (c *Config) applyDefaults() {
@@ -222,7 +230,7 @@ type loadMiss struct {
 type Core struct {
 	cfg   Config
 	prog  *isa.Program
-	mesh  *noc.Mesh
+	mesh  *coherence.Fabric
 	store *mem.Store
 	st    *stats.Core
 	tr    *trace.Tracer
@@ -293,10 +301,47 @@ type Core struct {
 
 	finished  bool
 	haltEntry bool
+
+	// Idle-cycle memoization (see PERFORMANCE.md). When a full Step ends
+	// with nothing retired and no action taken, the core computes the
+	// earliest future cycle at which a purely time-gated event can occur
+	// and sleeps until then: Steps before wakeAt just re-charge the
+	// recorded stall category in O(1). Message-driven events cannot be
+	// predicted, so HandleMsg clears wakeAt; a spurious early wake is a
+	// stats-identical no-op, so only *missed* time-gated events would be
+	// bugs — computeWake enumerates them all conservatively.
+	wakeAt    int64
+	acted     bool     // something changed this Step; do not sleep
+	stallKind stallCat // category charged for skipped cycles
+	stallPC   int      // fence-site attribution for stallFence
+	issueWake int64    // earliest future addr-ready of an unissued load
+
+	// entryArena chunk-allocates ROB entries. Entries are never recycled:
+	// captured operands and fetch-side register state hold *robEntry
+	// references (operand.prod, regVal.prod) that can outlive retirement,
+	// so reuse would corrupt dataflow. Chunking still removes ~all
+	// per-instruction heap allocations.
+	entryArena []robEntry
+	entryUsed  int
+
+	// lmPool recycles loadMiss records (safe, unlike ROB entries: the
+	// only reference is the loadMisses map entry deleted at grant time).
+	lmPool []*loadMiss
 }
 
+// stallCat is the memoized per-cycle stats category charged while the
+// core sleeps; it mirrors the switch at the end of Step exactly.
+type stallCat uint8
+
+const (
+	stallOther stallCat = iota // rMem/rExec/rEmpty: OtherStallCycles
+	stallBusy                  // rWork: modeled compute, BusyCycles
+	stallFence                 // rFence: FenceStallCycles + site profile
+	stallDrain                 // post-rollback drain: FenceStallCycles
+)
+
 // New builds a core executing prog on the given machine fabric.
-func New(cfg Config, prog *isa.Program, mesh *noc.Mesh, store *mem.Store) *Core {
+func New(cfg Config, prog *isa.Program, mesh *coherence.Fabric, store *mem.Store) *Core {
 	cfg.applyDefaults()
 	c := &Core{
 		cfg:        cfg,
@@ -308,6 +353,7 @@ func New(cfg Config, prog *isa.Program, mesh *noc.Mesh, store *mem.Store) *Core 
 		l1:         cache.New(cfg.L1Bytes, cfg.L1Assoc),
 		bs:         fence.NewBypassSet(cfg.BSCapacity, cfg.BSBloom),
 		loadMisses: make(map[mem.Line]*loadMiss),
+		issueWake:  math.MaxInt64,
 	}
 	// Architectural registers start as known zeros.
 	for i := range c.regs {
@@ -349,10 +395,36 @@ func (c *Core) nextReqID() uint64 {
 func (c *Core) home(l mem.Line) int { return mem.HomeBank(l, c.cfg.NCores) }
 
 func (c *Core) send(now int64, dst int, m coherence.Msg, cat noc.Category) {
+	// Sending is an action: a core that communicated this cycle may have
+	// follow-up work next cycle, so it must not go to sleep on stale
+	// state (single chokepoint for every outbound-message site).
+	c.acted = true
 	if m.Retry {
 		cat = noc.CatRetry
 	}
-	c.mesh.Send(now, noc.Packet{Src: c.cfg.ID, Dst: dst, Size: m.Size(), Cat: cat, Payload: m})
+	c.mesh.Send(now, coherence.Packet{Src: c.cfg.ID, Dst: dst, Size: m.Size(), Cat: cat, Payload: m})
+}
+
+// newEntry allocates a ROB entry from the append-only arena; the slot is
+// always fresh (zeroed) because entries are never reused.
+func (c *Core) newEntry() *robEntry {
+	if c.entryUsed == len(c.entryArena) {
+		c.entryArena = make([]robEntry, 512)
+		c.entryUsed = 0
+	}
+	e := &c.entryArena[c.entryUsed]
+	c.entryUsed++
+	return e
+}
+
+// newLoadMiss takes a record from the pool or allocates one.
+func (c *Core) newLoadMiss() *loadMiss {
+	if n := len(c.lmPool); n > 0 {
+		lm := c.lmPool[n-1]
+		c.lmPool = c.lmPool[:n-1]
+		return lm
+	}
+	return &loadMiss{}
 }
 
 // readReg captures the current fetch-side state of register r as an

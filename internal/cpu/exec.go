@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"math"
+
 	"asymfence/internal/cache"
 	"asymfence/internal/coherence"
 	"asymfence/internal/isa"
@@ -16,11 +18,21 @@ import (
 // address.
 func (c *Core) issueLoads(now int64) {
 	outstanding := len(c.loadMisses)
+	// Recompute the earliest future address-ready among unissued loads
+	// (an idle-memoization wake term: nothing else re-examines a load
+	// whose address resolved with a future ready time).
+	c.issueWake = math.MaxInt64
 	for i, e := range c.rob {
 		if e.in.Op != isa.Ld || e.squashed || e.issued || e.performed {
 			continue
 		}
-		if !e.addrOK || now < e.addrReady {
+		if !e.addrOK {
+			continue
+		}
+		if now < e.addrReady {
+			if e.addrReady < c.issueWake {
+				c.issueWake = e.addrReady
+			}
 			continue
 		}
 		fwd, ok := c.searchOlderStores(i, e)
@@ -30,12 +42,14 @@ func (c *Core) issueLoads(now int64) {
 		if fwd != nil {
 			e.issued = true
 			e.forwarded = true
+			c.acted = true
 			c.performLoadValue(now+1, e, fwd.val)
 			continue
 		}
 		line := e.line()
 		if _, hit := c.l1.Lookup(line); hit {
 			e.issued = true
+			c.acted = true
 			c.performLoad(now+c.cfg.L1HitLatency, e)
 			continue
 		}
@@ -43,6 +57,7 @@ func (c *Core) issueLoads(now int64) {
 		// new GetS, subject to the MSHR limit.
 		if lm, ok := c.loadMisses[line]; ok {
 			e.issued = true
+			c.acted = true
 			lm.waiters = append(lm.waiters, e)
 			continue
 		}
@@ -51,7 +66,10 @@ func (c *Core) issueLoads(now int64) {
 		}
 		outstanding++
 		e.issued = true
-		lm := &loadMiss{line: line, reqID: c.nextReqID(), waiters: []*robEntry{e}}
+		lm := c.newLoadMiss()
+		lm.line = line
+		lm.reqID = c.nextReqID()
+		lm.waiters = append(lm.waiters, e)
 		c.loadMisses[line] = lm
 		c.send(now, c.home(line), coherence.Msg{
 			Type: coherence.GetS, Line: line, Core: c.cfg.ID, ReqID: lm.reqID,
@@ -104,6 +122,7 @@ func (c *Core) performLoad(when int64, e *robEntry) {
 
 // performLoadValue completes a load with an explicit value (forwarding).
 func (c *Core) performLoadValue(when int64, e *robEntry, v uint32) {
+	c.acted = true
 	e.performed = true
 	e.val = v
 	e.ready = when
@@ -134,6 +153,9 @@ func (c *Core) handleLoadGrant(now int64, m coherence.Msg) {
 			c.performLoad(now, e)
 		}
 	}
+	// The map entry above was the only live reference; recycle.
+	lm.waiters = lm.waiters[:0]
+	c.lmPool = append(c.lmPool, lm)
 }
 
 // installL1 places a line in the L1, handling the eviction of the victim.

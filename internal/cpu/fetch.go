@@ -46,7 +46,8 @@ func (c *Core) fetchBranch(now int64, in isa.Instr) bool {
 	s1 := c.readReg(in.Src1)
 	s2 := c.readReg(in.Src2)
 	c.seq++
-	e := &robEntry{in: in, pc: c.pc, seq: c.seq, s1: s1, s2: s2}
+	e := c.newEntry()
+	e.in, e.pc, e.seq, e.s1, e.s2 = in, c.pc, c.seq, s1, s2
 	if in.Op == isa.Jmp || (s1.known && s2.known) {
 		taken := evalBranch(in, s1.val, s2.val)
 		e.resolved = true
@@ -110,7 +111,8 @@ func (c *Core) fetchOne(now int64, in isa.Instr) bool {
 			return false
 		}
 		c.seq++
-		e := &robEntry{in: in, pc: c.pc, seq: c.seq, s1: s1, slots: slots}
+		e := c.newEntry()
+		e.in, e.pc, e.seq, e.s1, e.slots = in, c.pc, c.seq, s1, slots
 		c.pc++
 		start := maxi64(maxi64(now, c.workFree), s1.ready)
 		e.prevWork = c.workFree
@@ -121,8 +123,16 @@ func (c *Core) fetchOne(now int64, in isa.Instr) bool {
 		c.pushROB(e)
 		return true
 	}
+	// Immediate-form Work must be admission-checked before the entry is
+	// allocated (the arena cannot un-allocate).
+	if in.Op == isa.Work {
+		if slots := workSlots(int64(in.Imm), c.cfg.ROBSize); c.robSlots+slots > c.cfg.ROBSize {
+			return false
+		}
+	}
 	c.seq++
-	e := &robEntry{in: in, pc: c.pc, seq: c.seq}
+	e := c.newEntry()
+	e.in, e.pc, e.seq = in, c.pc, c.seq
 	c.pc++
 
 	switch in.Op {
@@ -136,11 +146,6 @@ func (c *Core) fetchOne(now int64, in isa.Instr) bool {
 
 	case isa.Work:
 		e.slots = workSlots(int64(in.Imm), c.cfg.ROBSize)
-		if c.robSlots+e.slots > c.cfg.ROBSize {
-			c.pc--
-			c.seq--
-			return false
-		}
 		start := maxi64(now, c.workFree)
 		e.prevWork = c.workFree
 		e.ready = start + int64(in.Imm)
@@ -192,10 +197,13 @@ func (c *Core) fetchOne(now int64, in isa.Instr) bool {
 }
 
 // pushROB appends an entry, charging its slot count to the window.
+// Fetching is an action for idle memoization: the front end must run
+// again next cycle.
 func (c *Core) pushROB(e *robEntry) {
 	if e.slots == 0 {
 		e.slots = 1
 	}
+	c.acted = true
 	c.rob = append(c.rob, e)
 	c.robSlots += e.slots
 }

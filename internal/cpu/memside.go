@@ -1,9 +1,12 @@
 package cpu
 
 import (
+	"math"
+
 	"asymfence/internal/cache"
 	"asymfence/internal/coherence"
 	"asymfence/internal/fence"
+	"asymfence/internal/isa"
 	"asymfence/internal/mem"
 	"asymfence/internal/noc"
 	"asymfence/internal/trace"
@@ -67,6 +70,7 @@ func (c *Core) coveringWF(storeSeq uint64) bool {
 }
 
 func (c *Core) completeHeadStore(now int64) {
+	c.acted = true
 	c.wb = c.wb[1:]
 	c.wbInFlight = false
 	c.wbBounced = false
@@ -133,6 +137,10 @@ func (c *Core) handleAtomGrant(now int64, m coherence.Msg) {
 // HandleMsg processes one incoming protocol message addressed to this
 // core's cache controller.
 func (c *Core) HandleMsg(now int64, m coherence.Msg) {
+	// Any incoming message can unblock the pipeline in ways computeWake
+	// cannot predict; wake the core for a full evaluation this cycle
+	// (messages are delivered before cores step).
+	c.wakeAt = 0
 	switch m.Type {
 	case coherence.GrantS, coherence.GrantE:
 		c.handleLoadGrant(now, m)
@@ -240,6 +248,7 @@ func (c *Core) completeFences(now int64) {
 		if len(c.wb) > 0 && c.wb[0].seq < f.seq {
 			return // a pre-fence store is still pending
 		}
+		c.acted = true
 		// Sample BS occupancy for Table 4 before dropping the entries.
 		c.st.BSLinesSum += uint64(c.bs.Len())
 		c.st.BSLinesSamples++
@@ -322,6 +331,7 @@ func (c *Core) checkWPlusTimeout(now int64) {
 // accesses) before resuming. The same deadlock is then impossible.
 func (c *Core) recoverWPlus(now int64) {
 	f := c.fences[0]
+	c.acted = true
 	c.st.Recoveries++
 	c.tr.Emit(now, trace.KRecovery, int32(c.cfg.ID), 0, int64(f.seq), int64(f.pcAfter), 0)
 	c.undoTo(f.seq + 1)
@@ -371,6 +381,14 @@ func (c *Core) Step(now int64) {
 		c.st.IdleCycles++
 		return
 	}
+	if now < c.wakeAt {
+		// Asleep: no message arrived (HandleMsg would have cleared
+		// wakeAt) and no time-gated event is due, so a full evaluation
+		// would change nothing but the recorded stall counter.
+		c.chargeStall(1)
+		return
+	}
+	c.acted = false
 	c.redirectMispredict()
 	if c.draining {
 		c.drainWB(now)
@@ -378,6 +396,8 @@ func (c *Core) Step(now int64) {
 			c.draining = false
 		} else {
 			c.st.FenceStallCycles++
+			c.stallKind = stallDrain
+			c.maybeSleep(now)
 			return
 		}
 	}
@@ -404,6 +424,139 @@ func (c *Core) Step(now int64) {
 	default:
 		c.st.OtherStallCycles++
 	}
+	if c.finished || retired > 0 {
+		c.wakeAt = 0
+		return
+	}
+	c.setStall(reason, blockPC)
+	c.maybeSleep(now)
+}
+
+// setStall records the stats category that skipped cycles must charge,
+// mirroring the retirement-block switch above.
+func (c *Core) setStall(reason blockReason, blockPC int) {
+	switch reason {
+	case rWork:
+		c.stallKind = stallBusy
+	case rFence:
+		c.stallKind = stallFence
+		c.stallPC = blockPC
+	default:
+		c.stallKind = stallOther
+	}
+}
+
+// chargeStall bulk-charges n cycles of the recorded stall category. The
+// category cannot change while the core sleeps: every state transition is
+// either message-driven (wakes the core immediately) or time-gated at a
+// cycle computeWake accounted for.
+func (c *Core) chargeStall(n uint64) {
+	switch c.stallKind {
+	case stallBusy:
+		c.st.BusyCycles += n
+	case stallFence:
+		c.st.FenceStallCycles += n
+		if c.stallPC >= 0 {
+			c.st.FenceSiteStall[c.stallPC] += n
+		}
+	case stallDrain:
+		c.st.FenceStallCycles += n
+	default:
+		c.st.OtherStallCycles += n
+	}
+}
+
+// maybeSleep arms the idle fast path after a Step that retired nothing:
+// unless something acted this cycle (in which case follow-up work may be
+// possible immediately), the core sleeps until the earliest time-gated
+// event. An early (spurious) wake is harmless; missing an event would not
+// be, so computeWake is conservative.
+func (c *Core) maybeSleep(now int64) {
+	c.wakeAt = 0
+	if c.acted || c.cfg.NoIdleSleep {
+		return
+	}
+	c.wakeAt = c.computeWake(now)
+}
+
+// computeWake enumerates every purely time-gated reason the blocked core
+// could make progress and returns the earliest, or math.MaxInt64 when
+// progress requires a message. Dataflow resolution is eager (values
+// propagate the cycle their producer performs), so it never gates on time
+// by itself; the gates are head-of-ROB ready times, the write-buffer and
+// atomic retry backoffs, the W+ timeout, the C-Fence poll timer and the
+// future address-ready times of unissued loads.
+func (c *Core) computeWake(now int64) int64 {
+	wake := int64(math.MaxInt64)
+	consider := func(t int64) {
+		if t > now && t < wake {
+			wake = t
+		}
+	}
+	if len(c.rob) > 0 {
+		e := c.rob[0]
+		switch e.in.Op {
+		case isa.Ld:
+			if e.performed {
+				consider(e.ready)
+			}
+		case isa.St:
+			if e.addrOK && e.dataOK {
+				consider(maxi64(e.addrReady, e.dataReady))
+			}
+		case isa.Xchg:
+			if e.performed {
+				consider(e.ready)
+			} else if !c.atomInFlight {
+				consider(c.atomRetryAt)
+				if e.addrOK && e.dataOK {
+					consider(maxi64(e.addrReady, e.dataReady))
+				}
+			}
+		case isa.SFence, isa.WFence:
+			if c.cfState == 2 && !c.cfCleared && !c.cfQueryIn {
+				consider(c.cfQueryAt)
+			}
+		default:
+			// Work, ALU ops, branches, Halt: once resolved they wait only
+			// for their ready time; unresolved entries resolve on events.
+			if e.resolved {
+				consider(e.ready)
+			}
+		}
+	}
+	if len(c.wb) > 0 && !c.wbInFlight {
+		consider(c.wbRetryAt)
+	}
+	if c.timeoutArmed {
+		consider(c.timeoutAt)
+	}
+	consider(c.issueWake)
+	return wake
+}
+
+// WakeAt reports the earliest cycle after now at which this core may act:
+// now+1 when it is awake, its recorded wake time when it sleeps, or
+// math.MaxInt64 when it is finished or waiting only for messages. The
+// machine's quiescence-aware cycle loop uses it to bound clock jumps.
+func (c *Core) WakeAt(now int64) int64 {
+	if c.finished {
+		return math.MaxInt64
+	}
+	if c.wakeAt <= now {
+		return now + 1
+	}
+	return c.wakeAt
+}
+
+// SkipStall bulk-accounts n cycles the machine's cycle loop skipped while
+// this core was quiescent; it is exactly n fast-path Steps.
+func (c *Core) SkipStall(n int64) {
+	if c.finished {
+		c.st.IdleCycles += uint64(n)
+		return
+	}
+	c.chargeStall(uint64(n))
 }
 
 // Pending reports whether the core still has in-flight machine state

@@ -225,6 +225,7 @@ func (c *Core) retireAtomic(now int64, e *robEntry) (bool, blockReason) {
 
 // performAtomic completes the read-modify-write.
 func (c *Core) performAtomic(when int64, e *robEntry) {
+	c.acted = true
 	old := c.store.Load(e.addr)
 	c.store.StoreWord(e.addr, e.dataVal)
 	e.performed = true

@@ -7,10 +7,23 @@
 // "% traffic increase" columns of Table 4. Link contention is not modeled
 // (the paper's fence traffic is far below link capacity; Table 4 reports
 // negligible increases).
+//
+// The mesh is generic over its payload type, so the coherence protocol's
+// messages travel without an interface boxing allocation per send — the
+// fabric is on the simulator's hottest path (see PERFORMANCE.md). For the
+// same reason the per-destination arrival queues are hand-rolled binary
+// heaps rather than container/heap users: the standard library interface
+// costs one interface conversion per push and pop.
+//
+// Determinism: packets are delivered in (arrival cycle, injection order)
+// order, and point-to-point FIFO is enforced per (src, dst) channel.
+// NextArrival exposes the earliest undelivered arrival cycle so the
+// simulator's quiescence-aware cycle loop can skip dead cycles without
+// changing delivery order.
 package noc
 
 import (
-	"container/heap"
+	"math"
 
 	"asymfence/internal/trace"
 )
@@ -21,7 +34,7 @@ const (
 	DefaultLinkBytes  = 32 // bytes transferred per cycle per link (256-bit)
 )
 
-// Traffic categories for byte accounting.
+// Category classifies traffic for byte accounting.
 type Category uint8
 
 const (
@@ -36,32 +49,72 @@ const (
 	numCategories
 )
 
-// Packet is one message in flight. Payload is opaque to the mesh.
-type Packet struct {
+// Packet is one message in flight. The payload type is opaque to the mesh.
+type Packet[P any] struct {
 	Src, Dst int // node ids
 	Size     int // bytes, for serialization latency and accounting
 	Cat      Category
-	Payload  any
+	Payload  P
 }
 
-type inFlight struct {
+type inFlight[P any] struct {
 	arrive int64
 	seq    uint64 // FIFO tie-break for determinism
-	pkt    Packet
+	pkt    Packet[P]
 }
 
-type pktHeap []inFlight
+// pktHeap is a hand-rolled binary min-heap on (arrive, seq). It avoids
+// container/heap's per-operation interface boxing on the simulator's
+// hottest queue.
+type pktHeap[P any] []inFlight[P]
 
-func (h pktHeap) Len() int { return len(h) }
-func (h pktHeap) Less(i, j int) bool {
+func (h pktHeap[P]) less(i, j int) bool {
 	if h[i].arrive != h[j].arrive {
 		return h[i].arrive < h[j].arrive
 	}
 	return h[i].seq < h[j].seq
 }
-func (h pktHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *pktHeap) Push(x any)   { *h = append(*h, x.(inFlight)) }
-func (h *pktHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *pktHeap[P]) push(f inFlight[P]) {
+	*h = append(*h, f)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *pktHeap[P]) pop() inFlight[P] {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = inFlight[P]{} // release payload references to the GC
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return top
+}
 
 // Stats accumulates traffic accounting.
 type Stats struct {
@@ -76,11 +129,11 @@ func (s *Stats) BytesIn(c Category) uint64 { return s.BytesByCat[c] }
 
 // Mesh is the 2D interconnect. Node ids are 0..Nodes()-1, laid out row
 // major on a width x height grid.
-type Mesh struct {
+type Mesh[P any] struct {
 	width, height int
 	hopLatency    int64
 	linkBytes     int
-	queues        []pktHeap // one per destination
+	queues        []pktHeap[P] // one per destination
 	// lastArrive enforces point-to-point FIFO ordering per (src, dst)
 	// channel: XY routing sends all traffic between a pair down one path,
 	// so later packets can never overtake earlier ones even when their
@@ -89,18 +142,19 @@ type Mesh struct {
 	// invalidation from the same home module).
 	lastArrive []int64
 	seq        uint64
+	inFlight   int
 	stats      Stats
 	tr         *trace.Tracer
 }
 
 // NewMesh builds a width x height mesh with default link parameters.
-func NewMesh(width, height int) *Mesh {
-	m := &Mesh{
+func NewMesh[P any](width, height int) *Mesh[P] {
+	m := &Mesh[P]{
 		width:      width,
 		height:     height,
 		hopLatency: DefaultHopLatency,
 		linkBytes:  DefaultLinkBytes,
-		queues:     make([]pktHeap, width*height),
+		queues:     make([]pktHeap[P], width*height),
 		lastArrive: make([]int64, width*height*width*height),
 	}
 	return m
@@ -121,13 +175,13 @@ func MeshFor(n int) (width, height int) {
 
 // SetTracer attaches the machine's event tracer (nil disables; packet
 // send/deliver events are the trace's highest-frequency class).
-func (m *Mesh) SetTracer(t *trace.Tracer) { m.tr = t }
+func (m *Mesh[P]) SetTracer(t *trace.Tracer) { m.tr = t }
 
 // Nodes returns the node count.
-func (m *Mesh) Nodes() int { return m.width * m.height }
+func (m *Mesh[P]) Nodes() int { return m.width * m.height }
 
 // Hops returns the XY-routed hop count between two nodes.
-func (m *Mesh) Hops(a, b int) int {
+func (m *Mesh[P]) Hops(a, b int) int {
 	ax, ay := a%m.width, a/m.width
 	bx, by := b%m.width, b/m.width
 	dx, dy := ax-bx, ay-by
@@ -143,7 +197,7 @@ func (m *Mesh) Hops(a, b int) int {
 // Latency returns the delivery latency for a packet of size bytes between
 // two nodes: per-hop latency plus serialization on the 32-byte links.
 // A local (same-node) message still costs one cycle.
-func (m *Mesh) Latency(src, dst, size int) int64 {
+func (m *Mesh[P]) Latency(src, dst, size int) int64 {
 	ser := int64((size + m.linkBytes - 1) / m.linkBytes)
 	if ser < 1 {
 		ser = 1
@@ -153,7 +207,7 @@ func (m *Mesh) Latency(src, dst, size int) int64 {
 
 // Send injects a packet at cycle now. It will be visible to the
 // destination's Deliver at now + Latency.
-func (m *Mesh) Send(now int64, p Packet) {
+func (m *Mesh[P]) Send(now int64, p Packet[P]) {
 	if p.Dst < 0 || p.Dst >= len(m.queues) {
 		panic("noc: bad destination")
 	}
@@ -162,48 +216,57 @@ func (m *Mesh) Send(now int64, p Packet) {
 	m.stats.PacketsByCat[p.Cat]++
 	m.stats.BytesByCat[p.Cat] += uint64(p.Size)
 	m.seq++
+	m.inFlight++
 	arrive := now + m.Latency(p.Src, p.Dst, p.Size)
 	ch := p.Src*m.Nodes() + p.Dst
 	if arrive < m.lastArrive[ch] {
 		arrive = m.lastArrive[ch]
 	}
 	m.lastArrive[ch] = arrive
-	heap.Push(&m.queues[p.Dst], inFlight{arrive: arrive, seq: m.seq, pkt: p})
+	m.queues[p.Dst].push(inFlight[P]{arrive: arrive, seq: m.seq, pkt: p})
 	m.tr.Emit(now, trace.KNoCSend, int32(p.Src), 0, int64(p.Dst), int64(p.Size), int64(p.Cat))
 }
 
 // Deliver pops every packet destined to dst that has arrived by cycle now,
-// in deterministic (arrival, injection) order.
-func (m *Mesh) Deliver(now int64, dst int) []Packet {
+// in deterministic (arrival, injection) order. The returned slice is
+// freshly allocated; the cycle loop uses DeliverInto instead.
+func (m *Mesh[P]) Deliver(now int64, dst int) []Packet[P] {
+	return m.DeliverInto(now, dst, nil)
+}
+
+// DeliverInto is Deliver appending into buf (typically buf[:0] of a
+// reused scratch slice), avoiding a per-call allocation on the cycle
+// loop's hot path.
+func (m *Mesh[P]) DeliverInto(now int64, dst int, buf []Packet[P]) []Packet[P] {
 	q := &m.queues[dst]
-	var out []Packet
-	for q.Len() > 0 && (*q)[0].arrive <= now {
-		p := heap.Pop(q).(inFlight).pkt
+	for len(*q) > 0 && (*q)[0].arrive <= now {
+		p := q.pop().pkt
+		m.inFlight--
 		m.tr.Emit(now, trace.KNoCDeliver, int32(dst), 0, int64(p.Src), int64(p.Size), int64(p.Cat))
-		out = append(out, p)
+		buf = append(buf, p)
 	}
-	return out
+	return buf
 }
 
 // Pending reports whether any packet is still in flight anywhere.
-func (m *Mesh) Pending() bool {
-	for i := range m.queues {
-		if m.queues[i].Len() > 0 {
-			return true
-		}
-	}
-	return false
-}
+func (m *Mesh[P]) Pending() bool { return m.inFlight > 0 }
 
 // InFlight returns the number of packets currently in flight (deadlock
 // diagnostics).
-func (m *Mesh) InFlight() int {
-	n := 0
+func (m *Mesh[P]) InFlight() int { return m.inFlight }
+
+// NextArrival returns the earliest arrival cycle over every undelivered
+// packet, or math.MaxInt64 when nothing is in flight. The simulator's
+// quiescence-aware stepping uses it to bound how far the clock may skip.
+func (m *Mesh[P]) NextArrival() int64 {
+	next := int64(math.MaxInt64)
 	for i := range m.queues {
-		n += m.queues[i].Len()
+		if q := m.queues[i]; len(q) > 0 && q[0].arrive < next {
+			next = q[0].arrive
+		}
 	}
-	return n
+	return next
 }
 
 // Stats returns a copy of the accumulated traffic statistics.
-func (m *Mesh) Stats() Stats { return m.stats }
+func (m *Mesh[P]) Stats() Stats { return m.stats }

@@ -18,7 +18,7 @@ func TestMeshFor(t *testing.T) {
 }
 
 func TestHops(t *testing.T) {
-	m := NewMesh(4, 2) // nodes 0..3 top row, 4..7 bottom row
+	m := NewMesh[string](4, 2) // nodes 0..3 top row, 4..7 bottom row
 	cases := []struct{ a, b, want int }{
 		{0, 0, 0}, {0, 1, 1}, {0, 3, 3}, {0, 4, 1}, {0, 7, 4}, {3, 4, 4},
 	}
@@ -31,7 +31,7 @@ func TestHops(t *testing.T) {
 
 // Property: hop count is symmetric and satisfies the triangle inequality.
 func TestHopsMetricQuick(t *testing.T) {
-	m := NewMesh(4, 4)
+	m := NewMesh[string](4, 4)
 	f := func(a, b, c uint8) bool {
 		x, y, z := int(a)%16, int(b)%16, int(c)%16
 		if m.Hops(x, y) != m.Hops(y, x) {
@@ -45,7 +45,7 @@ func TestHopsMetricQuick(t *testing.T) {
 }
 
 func TestLatency(t *testing.T) {
-	m := NewMesh(4, 2)
+	m := NewMesh[string](4, 2)
 	// Same node: serialization only.
 	if got := m.Latency(0, 0, 8); got != 1 {
 		t.Errorf("local 8B latency %d, want 1", got)
@@ -57,9 +57,9 @@ func TestLatency(t *testing.T) {
 }
 
 func TestDeliveryOrderAndTiming(t *testing.T) {
-	m := NewMesh(2, 2)
-	m.Send(0, Packet{Src: 0, Dst: 3, Size: 8, Payload: "far"})  // 2 hops: arrives at 11
-	m.Send(0, Packet{Src: 1, Dst: 3, Size: 8, Payload: "near"}) // 1 hop: arrives at 6
+	m := NewMesh[string](2, 2)
+	m.Send(0, Packet[string]{Src: 0, Dst: 3, Size: 8, Payload: "far"})  // 2 hops: arrives at 11
+	m.Send(0, Packet[string]{Src: 1, Dst: 3, Size: 8, Payload: "near"}) // 1 hop: arrives at 6
 	if got := m.Deliver(5, 3); len(got) != 0 {
 		t.Fatalf("early delivery: %v", got)
 	}
@@ -81,13 +81,13 @@ func TestDeliveryOrderAndTiming(t *testing.T) {
 // would nominally arrive earlier (e.g. a control message following a data
 // grant). The MESI implementation relies on this.
 func TestChannelFIFO(t *testing.T) {
-	m := NewMesh(2, 2)
-	m.Send(0, Packet{Src: 0, Dst: 1, Size: 64, Payload: "data"}) // 2 serialization cycles
-	m.Send(0, Packet{Src: 0, Dst: 1, Size: 8, Payload: "ctrl"})  // would arrive first unordered
+	m := NewMesh[string](2, 2)
+	m.Send(0, Packet[string]{Src: 0, Dst: 1, Size: 64, Payload: "data"}) // 2 serialization cycles
+	m.Send(0, Packet[string]{Src: 0, Dst: 1, Size: 8, Payload: "ctrl"})  // would arrive first unordered
 	var order []string
 	for cyc := int64(1); cyc < 20; cyc++ {
 		for _, p := range m.Deliver(cyc, 1) {
-			order = append(order, p.Payload.(string))
+			order = append(order, p.Payload)
 		}
 	}
 	if len(order) != 2 || order[0] != "data" || order[1] != "ctrl" {
@@ -96,10 +96,10 @@ func TestChannelFIFO(t *testing.T) {
 }
 
 func TestTrafficAccounting(t *testing.T) {
-	m := NewMesh(2, 2)
-	m.Send(0, Packet{Src: 0, Dst: 1, Size: 8, Cat: CatProtocol})
-	m.Send(0, Packet{Src: 0, Dst: 1, Size: 40, Cat: CatRetry})
-	m.Send(0, Packet{Src: 0, Dst: 1, Size: 12, Cat: CatFence})
+	m := NewMesh[string](2, 2)
+	m.Send(0, Packet[string]{Src: 0, Dst: 1, Size: 8, Cat: CatProtocol})
+	m.Send(0, Packet[string]{Src: 0, Dst: 1, Size: 40, Cat: CatRetry})
+	m.Send(0, Packet[string]{Src: 0, Dst: 1, Size: 12, Cat: CatFence})
 	s := m.Stats()
 	if s.Packets != 3 || s.Bytes != 60 {
 		t.Fatalf("totals: %+v", s)

@@ -1,0 +1,192 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"asymfence/internal/fence"
+	"asymfence/internal/isa"
+	"asymfence/internal/mem"
+	"asymfence/internal/sim"
+)
+
+// quiesceProgs builds a 4-core workload that exercises every idle-sleep
+// wake term: cross-core flag handshakes (load-miss sleeps and spin
+// loops), write-buffer drains behind fences, Work bursts (head-of-ROB
+// ready-time sleeps), and a core that halts early and idles to the end.
+func quiesceProgs() []*isa.Program {
+	const data, flag, back = 0x1000, 0x1040, 0x1080
+
+	w := isa.NewBuilder("writer")
+	w.Li(1, data).Li(2, 1234).St(2, 1, 0)
+	w.WFence()
+	w.Li(1, flag).Li(2, 1).St(2, 1, 0)
+	w.Work(400)
+	w.Li(1, back)
+	w.Label("spin")
+	w.Ld(3, 1, 0).Beq(3, isa.R0, "spin")
+	w.SFence()
+	w.Halt()
+
+	r := isa.NewBuilder("reader")
+	r.Li(1, flag)
+	r.Label("spin")
+	r.Ld(2, 1, 0).Beq(2, isa.R0, "spin")
+	r.Li(1, data).Ld(10, 1, 0)
+	r.Work(250)
+	r.Li(1, back).Li(2, 1).St(2, 1, 0)
+	r.WFence()
+	r.Halt()
+
+	worker := isa.NewBuilder("worker")
+	worker.Li(1, 0x2000)
+	worker.Work(600)
+	worker.Ld(2, 1, 0).AddI(2, 2, 1).St(2, 1, 0)
+	worker.SFence()
+	worker.Halt()
+
+	idle := isa.NewBuilder("idle")
+	idle.Work(50).Halt()
+
+	return []*isa.Program{w.MustBuild(), r.MustBuild(), worker.MustBuild(), idle.MustBuild()}
+}
+
+// quiesceDesigns is every fence design including the C-Fence baseline
+// (whose query/retry machinery has its own wake term).
+func quiesceDesigns() []fence.Design {
+	return append(append([]fence.Design{}, fence.AllDesigns...), fence.CFence)
+}
+
+// TestQuiescenceEquivalence proves the quiescence-aware cycle loop is an
+// invisible optimization: the same workload run with PureStepping (every
+// component stepped every cycle) and with idle skipping enabled must
+// produce byte-identical results — same final cycle, same digest over
+// every counter — for every fence design.
+func TestQuiescenceEquivalence(t *testing.T) {
+	for _, d := range quiesceDesigns() {
+		run := func(pure bool) *sim.Result {
+			m, err := sim.New(sim.Config{NCores: 4, Design: d, PureStepping: pure},
+				quiesceProgs(), mem.NewStore())
+			if err != nil {
+				t.Fatalf("%v: New: %v", d, err)
+			}
+			res, err := m.Run()
+			if err != nil {
+				t.Fatalf("%v (pure=%v): Run: %v", d, pure, err)
+			}
+			return res
+		}
+		pure, fast := run(true), run(false)
+		if pure.Cycles != fast.Cycles {
+			t.Errorf("%v: cycles diverge: pure=%d fast=%d", d, pure.Cycles, fast.Cycles)
+		}
+		if pd, fd := pure.Digest(), fast.Digest(); pd != fd {
+			t.Errorf("%v: digests diverge: pure=%s fast=%s", d, pd, fd)
+		}
+	}
+}
+
+// TestQuiescenceEquivalenceSampled repeats the cross-check with interval
+// sampling enabled: fastForward must stop at every sampling boundary so
+// each interval row sees the counters as of exactly that cycle.
+func TestQuiescenceEquivalenceSampled(t *testing.T) {
+	for _, d := range []fence.Design{fence.SPlus, fence.WPlus, fence.Wee} {
+		run := func(pure bool) *sim.Result {
+			m, err := sim.New(
+				sim.Config{NCores: 4, Design: d, PureStepping: pure, SampleInterval: 100},
+				quiesceProgs(), mem.NewStore())
+			if err != nil {
+				t.Fatalf("%v: New: %v", d, err)
+			}
+			res, err := m.Run()
+			if err != nil {
+				t.Fatalf("%v (pure=%v): Run: %v", d, pure, err)
+			}
+			return res
+		}
+		pure, fast := run(true), run(false)
+		if pd, fd := pure.Digest(), fast.Digest(); pd != fd {
+			t.Errorf("%v: digests diverge: pure=%s fast=%s", d, pd, fd)
+		}
+		if !reflect.DeepEqual(pure.Intervals, fast.Intervals) {
+			t.Errorf("%v: interval time series diverge (%d vs %d rows)",
+				d, len(pure.Intervals), len(fast.Intervals))
+		}
+	}
+}
+
+// TestQuiescenceEquivalenceRunFor covers the fixed-horizon loop used by
+// throughput experiments: after all cores halt, the machine idle-skips
+// straight to the horizon, which must not change any counter.
+func TestQuiescenceEquivalenceRunFor(t *testing.T) {
+	const horizon = 5000
+	run := func(pure bool) *sim.Result {
+		m, err := sim.New(
+			sim.Config{NCores: 4, Design: fence.WSPlus, PureStepping: pure, SampleInterval: 250},
+			quiesceProgs(), mem.NewStore())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return m.RunFor(horizon)
+	}
+	pure, fast := run(true), run(false)
+	if pure.Cycles != horizon || fast.Cycles != horizon {
+		t.Fatalf("RunFor did not run to horizon: pure=%d fast=%d", pure.Cycles, fast.Cycles)
+	}
+	if pd, fd := pure.Digest(), fast.Digest(); pd != fd {
+		t.Errorf("digests diverge: pure=%s fast=%s", pd, fd)
+	}
+	if !reflect.DeepEqual(pure.Intervals, fast.Intervals) {
+		t.Errorf("interval time series diverge (%d vs %d rows)",
+			len(pure.Intervals), len(fast.Intervals))
+	}
+}
+
+// TestIdleSkipWakesOnPacketArrival pins down the wake mechanism itself:
+// a core asleep on a cold load miss (no local wake time — it is woken
+// purely by the grant packet) must observe the grant at exactly the
+// cycle a pure-stepping run delivers it, and the run must actually have
+// skipped cycles (the memory fetch is hundreds of cycles long).
+func TestIdleSkipWakesOnPacketArrival(t *testing.T) {
+	prog := func() []*isa.Program {
+		b := isa.NewBuilder("coldload")
+		b.Li(1, 0x4000)
+		b.Ld(2, 1, 0) // cold miss: GetS -> directory -> memory fetch
+		b.AddI(3, 2, 7)
+		b.Halt()
+		return []*isa.Program{b.MustBuild()}
+	}
+	run := func(pure bool) (*sim.Machine, *sim.Result) {
+		st := mem.NewStore()
+		st.StoreWord(0x4000, 35)
+		m, err := sim.New(sim.Config{NCores: 1, Design: fence.SPlus, PureStepping: pure},
+			prog(), st)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("Run (pure=%v): %v", pure, err)
+		}
+		return m, res
+	}
+	mp, pure := run(true)
+	mf, fast := run(false)
+	if got := mf.Core(0).Reg(3); got != 42 {
+		t.Fatalf("load value lost across idle skip: r3 = %d, want 42", got)
+	}
+	if pure.Cycles != fast.Cycles {
+		t.Errorf("wake cycle wrong: pure run ends at %d, fast run at %d",
+			pure.Cycles, fast.Cycles)
+	}
+	if pd, fd := pure.Digest(), fast.Digest(); pd != fd {
+		t.Errorf("digests diverge: pure=%s fast=%s", pd, fd)
+	}
+	if mp.SkippedCycles() != 0 {
+		t.Errorf("pure run skipped %d cycles, want 0", mp.SkippedCycles())
+	}
+	if mf.SkippedCycles() < 50 {
+		t.Errorf("fast run skipped only %d cycles; the memory fetch latency "+
+			"should have been mostly elided", mf.SkippedCycles())
+	}
+}

@@ -58,6 +58,13 @@ type Config struct {
 	// SampleInterval, when positive, snapshots per-core cycle-breakdown
 	// deltas every that many cycles into Result.Intervals.
 	SampleInterval int64
+
+	// PureStepping disables the quiescence-aware fast paths (per-core
+	// idle memoization and whole-machine cycle skipping), evaluating
+	// every component every cycle. Results are bit-identical either way —
+	// TestQuiescenceEquivalence asserts it — so this exists only for that
+	// cross-check and for debugging the fast paths themselves.
+	PureStepping bool
 }
 
 func (c *Config) applyDefaults() {
@@ -84,7 +91,7 @@ var ErrHorizon = errors.New("sim: cycle horizon reached before completion")
 // Machine is one simulated multicore.
 type Machine struct {
 	cfg     Config
-	mesh    *noc.Mesh
+	mesh    *coherence.Fabric
 	store   *mem.Store
 	dirs    []*coherence.Directory
 	cores   []*cpu.Core
@@ -93,6 +100,10 @@ type Machine struct {
 	sampler *trace.Sampler
 	// coreStats caches the stat blocks for the sampler's hot path.
 	coreStats []*stats.Core
+	// delivBuf is the reused packet-delivery scratch buffer.
+	delivBuf []coherence.Packet
+	// skipped counts cycles elided by fastForward (diagnostics/tests).
+	skipped int64
 }
 
 // New builds a machine running programs[i] on core i. len(programs) must
@@ -103,7 +114,7 @@ func New(cfg Config, programs []*isa.Program, store *mem.Store) (*Machine, error
 		return nil, fmt.Errorf("sim: %d programs for %d cores", len(programs), cfg.NCores)
 	}
 	w, h := noc.MeshFor(cfg.NCores)
-	mesh := noc.NewMesh(w, h)
+	mesh := noc.NewMesh[coherence.Msg](w, h)
 	mesh.SetTracer(cfg.Trace)
 	grt := coherence.NewGRT()
 	m := &Machine{cfg: cfg, mesh: mesh, store: store, tr: cfg.Trace,
@@ -118,6 +129,7 @@ func New(cfg Config, programs []*isa.Program, store *mem.Store) (*Machine, error
 		cc.Design = cfg.Design
 		cc.Privacy = cfg.Privacy
 		cc.Tracer = cfg.Trace
+		cc.NoIdleSleep = cfg.PureStepping
 		core := cpu.New(cc, programs[i], mesh, store)
 		m.cores = append(m.cores, core)
 		m.coreStats = append(m.coreStats, core.Stats())
@@ -147,12 +159,15 @@ func (m *Machine) Step() {
 	m.cycle++
 	now := m.cycle
 	for n := 0; n < m.cfg.NCores; n++ {
-		for _, pkt := range m.mesh.Deliver(now, n) {
-			msg := pkt.Payload.(coherence.Msg)
-			if coherence.ToDirectory(msg.Type) {
-				m.dirs[n].Handle(now, msg)
+		// Handlers may send new packets mid-delivery, but every send has
+		// latency >= 1, so the pop-then-handle order per node is stable
+		// and the scratch buffer is not mutated under iteration.
+		m.delivBuf = m.mesh.DeliverInto(now, n, m.delivBuf[:0])
+		for _, pkt := range m.delivBuf {
+			if coherence.ToDirectory(pkt.Payload.Type) {
+				m.dirs[n].Handle(now, pkt.Payload)
 			} else {
-				m.cores[n].HandleMsg(now, msg)
+				m.cores[n].HandleMsg(now, pkt.Payload)
 			}
 		}
 	}
@@ -267,9 +282,69 @@ func (m *Machine) RunCtx(ctx context.Context) (*Result, error) {
 		} else if m.cycle-lastProgress > m.cfg.WatchdogCycles {
 			return m.result(false), m.deadlockError()
 		}
+		if !m.cfg.PureStepping {
+			// The watchdog must still observe the cycle at which it would
+			// have fired, so the jump may not overshoot its deadline.
+			limit := lastProgress + m.cfg.WatchdogCycles + 1
+			if m.cfg.MaxCycles < limit {
+				limit = m.cfg.MaxCycles
+			}
+			m.fastForward(limit)
+		}
 	}
 	return m.result(false), ErrHorizon
 }
+
+// fastForward advances the clock past cycles in which provably nothing
+// happens: every core is asleep or finished, no packet arrives, and no
+// directory timer fires. The skipped cycles are bulk-charged to each
+// core's recorded stall category, which is exactly what stepping them
+// would have done — runs are bit-identical with and without skipping
+// (TestQuiescenceEquivalence). The jump is also capped at the next
+// sampling boundary and at limit (watchdog deadline / horizon).
+func (m *Machine) fastForward(limit int64) {
+	now := m.cycle
+	if now+2 > limit {
+		return
+	}
+	next := m.sampler.Next(now)
+	for _, c := range m.cores {
+		w := c.WakeAt(now)
+		if w <= now+1 {
+			return // an awake core steps every cycle
+		}
+		if w < next {
+			next = w
+		}
+	}
+	if t := m.mesh.NextArrival(); t < next {
+		next = t
+	}
+	for _, d := range m.dirs {
+		if t := d.NextTimer(); t < next {
+			next = t
+		}
+	}
+	if next > limit {
+		next = limit
+	}
+	// Stop one cycle short: the event cycle itself must be stepped.
+	skip := next - now - 1
+	if skip <= 0 {
+		return
+	}
+	for _, c := range m.cores {
+		c.SkipStall(skip)
+	}
+	m.cycle += skip
+	m.skipped += skip
+}
+
+// SkippedCycles returns how many cycles the quiescence-aware loop has
+// elided via fastForward instead of stepping. It is always 0 under
+// Config.PureStepping; tests use it to prove a fast run actually
+// exercised the skip path.
+func (m *Machine) SkippedCycles() int64 { return m.skipped }
 
 // RunFor executes exactly n cycles (throughput experiments run to a fixed
 // horizon and report committed transactions).
@@ -290,6 +365,9 @@ func (m *Machine) RunForCtx(ctx context.Context, n int64) (*Result, error) {
 				return m.result(false), m.canceled(ctx)
 			default:
 			}
+		}
+		if !m.cfg.PureStepping {
+			m.fastForward(end)
 		}
 	}
 	return m.result(m.Finished()), nil

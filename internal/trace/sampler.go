@@ -1,6 +1,10 @@
 package trace
 
-import "asymfence/internal/stats"
+import (
+	"math"
+
+	"asymfence/internal/stats"
+)
 
 // Sample is one interval snapshot of one core: the deltas of its cycle
 // breakdown and headline counters over the interval ending at Cycle.
@@ -98,6 +102,17 @@ func (s *Sampler) Samples() []Sample {
 		return nil
 	}
 	return s.samples
+}
+
+// Next returns the first sampling boundary strictly after now, or
+// math.MaxInt64 on a nil (disabled) sampler. The simulator's
+// quiescence-aware cycle loop must not skip past a boundary — the row
+// recorded there needs the counters as of exactly that cycle.
+func (s *Sampler) Next(now int64) int64 {
+	if s == nil {
+		return math.MaxInt64
+	}
+	return (now/s.every + 1) * s.every
 }
 
 // Every returns the sampling period (0 on a nil sampler).

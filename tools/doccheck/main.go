@@ -1,0 +1,182 @@
+// Command doccheck is the repository's documentation lint. It enforces
+// two rules from PERFORMANCE.md's documentation-sweep checklist without
+// pulling in an external linter:
+//
+//  1. every package named on the command line has a package doc comment
+//     (a revive/stylecheck ST1000-style check), and
+//  2. with -exported, every exported top-level identifier — funcs,
+//     methods on exported receivers, types, consts and vars — has a doc
+//     comment (the revive "exported" rule).
+//
+// Usage:
+//
+//	go run ./tools/doccheck ./internal/... ./cmd/asymsim
+//	go run ./tools/doccheck -exported ./internal/sim ./internal/experiments
+//
+// A trailing /... walks the tree. Test files satisfy neither rule and
+// are never flagged. Exit status 1 means at least one violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+var exported = flag.Bool("exported", false,
+	"also require doc comments on every exported top-level identifier")
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-exported] dir [dir ...]  (trailing /... recurses)")
+		os.Exit(2)
+	}
+	var dirs []string
+	for _, arg := range flag.Args() {
+		if root, ok := strings.CutSuffix(arg, "/..."); ok {
+			dirs = append(dirs, walk(root)...)
+		} else {
+			dirs = append(dirs, arg)
+		}
+	}
+	bad := 0
+	for _, dir := range dirs {
+		bad += checkDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d violation(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// walk returns every directory under root that contains non-test Go
+// files, skipping testdata and hidden directories.
+func walk(root string) []string {
+	var dirs []string
+	_ = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs
+}
+
+// checkDir lints one package directory and returns its violation count.
+func checkDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		hasDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasDoc = true
+			}
+		}
+		if !hasDoc {
+			fmt.Printf("%s: package %s has no package doc comment\n", dir, pkg.Name)
+			bad++
+		}
+		if !*exported {
+			continue
+		}
+		for name, f := range pkg.Files {
+			bad += checkFile(fset, name, f)
+		}
+	}
+	return bad
+}
+
+// checkFile flags exported top-level identifiers without doc comments.
+func checkFile(fset *token.FileSet, name string, f *ast.File) int {
+	bad := 0
+	flag := func(pos token.Pos, what, id string) {
+		fmt.Printf("%s: %s %s has no doc comment\n", fset.Position(pos), what, id)
+		bad++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil && !receiverExported(d.Recv) {
+				continue // method on an unexported type: internal detail
+			}
+			flag(d.Pos(), "exported func", d.Name.Name)
+		case *ast.GenDecl:
+			if d.Doc != nil && len(d.Specs) > 1 {
+				continue // a documented group covers its members
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						flag(s.Pos(), "exported type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							flag(n.Pos(), "exported value", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// receiverExported reports whether a method receiver's base type name is
+// exported.
+func receiverExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
