@@ -4,9 +4,9 @@
 GO ?= go
 
 .PHONY: check fmt vet doccheck build test race race-runner smoke bench \
-	bench-snapshot bench-baseline
+	bench-snapshot bench-baseline check-invariants fuzz-smoke
 
-check: fmt vet doccheck build test race-runner smoke
+check: fmt vet doccheck build test race-runner check-invariants fuzz-smoke smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -46,6 +46,20 @@ race-runner:
 # a parallel worker pool.
 smoke:
 	$(GO) run ./cmd/asymsim -scale 0.1 -horizon 20000 -j 4 headline
+
+# The runtime invariant oracle under the race detector: the litmus
+# suite with all checkers on for every design, the broken-fence
+# regression, and the oracle/injector unit suites (see ROBUSTNESS.md).
+check-invariants:
+	$(GO) test -race -count=1 ./internal/check/ ./internal/faults/
+	$(GO) test -race -count=1 -run 'Checker|BrokenFence|ConfigValidate|Deadlock' ./internal/sim/
+
+# Bounded deterministic fuzz campaign: seeded random racy litmus
+# programs under every design with checkers and fault injection on.
+# Byte-reproducible; a violation prints a minimized reproducer.
+fuzz-smoke:
+	$(GO) run ./cmd/asymsim fuzz -seeds 100 -q
+	$(GO) test -count=1 -run 'TestGenerateSmoke|TestFuzz' ./internal/workloads/litmus/ .
 
 # Short per-subsystem microbenchmarks (NoC, cache, directory, cycle
 # kernel). Quick enough for the inner loop; see PERFORMANCE.md for how

@@ -8,6 +8,7 @@
 //	asymsim [flags] run <group>:<app>      one workload under every design
 //	asymsim trace <group>:<app> [flags]    traced run (Perfetto/JSONL export)
 //	asymsim bench [flags]                  machine-readable perf snapshot
+//	asymsim fuzz [flags]                   litmus-fuzz under invariant checkers
 //
 // where <experiment> is one of fig8, fig9, fig10, fig11, fig12, table4,
 // headline, or all. Each prints the same rows/series the paper reports
@@ -54,6 +55,7 @@ import (
 	"time"
 
 	"asymfence"
+	"asymfence/internal/sim"
 )
 
 func main() {
@@ -68,6 +70,8 @@ func main() {
 			os.Exit(benchCmd(ctx, os.Args[2:]))
 		case "benchkernel":
 			os.Exit(benchKernelCmd(ctx, os.Args[2:]))
+		case "fuzz":
+			os.Exit(fuzzCmd(ctx, os.Args[2:]))
 		}
 	}
 
@@ -83,12 +87,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: asymsim [flags] <experiment>\n"+
 			"       asymsim [flags] run <group>:<app>     (e.g. run cilk:fib, run ustm:List)\n"+
 			"       asymsim trace <group>:<app> [flags]   (asymsim trace -h for flags)\n"+
-			"       asymsim bench [flags]                 (asymsim bench -h for flags)\n\n"+
+			"       asymsim bench [flags]                 (asymsim bench -h for flags)\n"+
+			"       asymsim fuzz [flags]                  (asymsim fuzz -h for flags)\n\n"+
 			"experiments: %v\n\nflags:\n",
 			asymfence.ExperimentIDs)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	// Reject a nonsensical machine shape before any experiment starts
+	// (same typed validation the simulator applies on Run).
+	if err := (sim.Config{NCores: *cores}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "asymsim:", err)
+		os.Exit(2)
+	}
 	if *list {
 		for _, e := range asymfence.Experiments() {
 			fmt.Printf("  %-9s %s\n", e.ID, e.Description)

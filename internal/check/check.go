@@ -1,0 +1,498 @@
+// Package check is the simulator's runtime invariant oracle: an opt-in,
+// zero-cost-when-nil observer (the same pattern as internal/trace) that
+// the machine notifies about every architecturally-relevant event and
+// that independently re-verifies the properties the paper's designs claim
+// to preserve.
+//
+// Three checkers exist, individually selectable via Options:
+//
+//   - The TSO consistency checker mirrors the committed memory state and
+//     every core's retired-but-uncommitted store FIFO from the hook
+//     stream alone, and verifies that stores commit in per-core program
+//     order, that every retired load returns a TSO-legal value (the
+//     latest globally committed write, or the youngest older own store
+//     via write-buffer forwarding), that atomics are globally ordered,
+//     and that no load retires past a strong-behaving fence whose
+//     pre-fence stores have not all committed.
+//
+//   - The coherence checker sweeps every cache line touched during a
+//     cycle at end of cycle and asserts the single-writer/multiple-reader
+//     invariant against the directory: an exclusively-held (M/E) line has
+//     exactly one holder which the directory records as owner, and every
+//     holder is tracked by the directory (sharer bit or ownership).
+//     Directory owner/sharer sets may be stale in the *other* direction
+//     (silent clean evictions), which is legal and not flagged.
+//
+//   - The fence-semantics checker asserts each design's contract: a
+//     strong-behaving fence never retires before the write buffer
+//     drains, a weak fence never completes before its pre-fence stores,
+//     weak behavior never occurs under S+, and rollbacks only occur
+//     under W+.
+//
+// A nil *Oracle is valid and free: every hook returns immediately.
+// Violations are latched — the first one wins, is retrievable via Err,
+// and is returned by the simulator's run loop as a typed
+// *ViolationError. ROBUSTNESS.md documents the invariants in paper
+// terms.
+package check
+
+import (
+	"fmt"
+
+	"asymfence/internal/fence"
+	"asymfence/internal/mem"
+)
+
+// Options selects which checkers an Oracle runs.
+type Options struct {
+	// TSO enables the consistency checker over the retirement-order
+	// load/store stream.
+	TSO bool
+	// Coherence enables the end-of-cycle SWMR sweep over touched lines.
+	Coherence bool
+	// Fence enables the per-design fence-contract checker.
+	Fence bool
+}
+
+// All returns Options with every checker enabled.
+func All() Options { return Options{TSO: true, Coherence: true, Fence: true} }
+
+// View is the oracle's read-only window into the machine's coherence
+// state, implemented by the simulator. It is consulted only during the
+// end-of-cycle sweep, never on the hook fast path.
+type View interface {
+	// L1Holds reports whether core's private L1 currently holds line l,
+	// and whether it holds it exclusively (Modified or Exclusive).
+	L1Holds(core int, l mem.Line) (held, exclusive bool)
+	// DirLine returns the home directory's sharer bitmask and owner
+	// (-1 for none) for line l.
+	DirLine(l mem.Line) (sharers uint64, owner int)
+}
+
+// pendingStore mirrors one retired-but-uncommitted write-buffer entry.
+type pendingStore struct {
+	seq  uint64
+	addr mem.Addr
+	val  uint32
+}
+
+// histEntry is one retired own-store value, for forwarding verification.
+type histEntry struct {
+	seq uint64
+	val uint32
+}
+
+// ownHistCap bounds the per-address own-store history. Only the youngest
+// entry older than a retiring load is ever consulted (stores retire in
+// program order before the loads that forward from them), so a short
+// history suffices.
+const ownHistCap = 8
+
+// barrier records a strong-behaving fence that retired while pre-fence
+// stores were still uncommitted. Correct designs never create one (a
+// strong fence drains first); a deliberately broken fence does, and any
+// load retiring while a barrier store is still pending is the TSO
+// violation the oracle reports.
+type barrier struct {
+	fenceSeq uint64
+	stores   []uint64
+}
+
+// coreState is the oracle's per-core mirror.
+type coreState struct {
+	pending  []pendingStore
+	own      map[mem.Addr][]histEntry
+	barriers []barrier
+}
+
+// Oracle is the machine-attached invariant checker. Construct with New,
+// attach via sim.Config.Checker; a nil Oracle disables checking at zero
+// cost. The oracle is driven synchronously from the single-threaded
+// cycle loop and is not safe for concurrent use across machines.
+type Oracle struct {
+	opt    Options
+	ncores int
+	design fence.Design
+	view   View
+
+	shadow map[mem.Addr]uint32
+	cores  []coreState
+
+	marked    []mem.Line
+	markedSet map[mem.Line]struct{}
+
+	err *ViolationError
+}
+
+// New builds an oracle running the selected checkers. The simulator
+// binds it to a machine (Bind) before the run starts.
+func New(opt Options) *Oracle {
+	return &Oracle{
+		opt:       opt,
+		shadow:    make(map[mem.Addr]uint32),
+		markedSet: make(map[mem.Line]struct{}),
+	}
+}
+
+// Bind attaches the oracle to one machine: the coherence view, the core
+// count and the fence design (which selects the fence-contract rules).
+// The simulator calls it from sim.New; binding again resets all mirrored
+// state, so one Oracle must not be shared by concurrent machines.
+func (o *Oracle) Bind(v View, ncores int, design fence.Design) {
+	if o == nil {
+		return
+	}
+	o.view = v
+	o.ncores = ncores
+	o.design = design
+	o.cores = make([]coreState, ncores)
+	for i := range o.cores {
+		o.cores[i].own = make(map[mem.Addr][]histEntry)
+	}
+}
+
+// SeedShadow pre-loads one word of the oracle's committed-memory mirror.
+// The simulator seeds every word the workload pre-initialized so the
+// mirror starts identical to the functional store.
+func (o *Oracle) SeedShadow(a mem.Addr, v uint32) {
+	if o == nil {
+		return
+	}
+	o.shadow[a] = v
+}
+
+// Err returns the latched violation, or nil. The first violation wins;
+// once latched every subsequent hook is a no-op.
+func (o *Oracle) Err() error {
+	if o == nil || o.err == nil {
+		return nil
+	}
+	return o.err
+}
+
+// Violation returns the typed latched violation (nil if none), for
+// callers that want the fields without errors.As.
+func (o *Oracle) Violation() *ViolationError {
+	if o == nil {
+		return nil
+	}
+	return o.err
+}
+
+func (o *Oracle) fail(checker string, cycle int64, core int, line uint64, format string, args ...any) {
+	if o.err != nil {
+		return
+	}
+	o.err = &ViolationError{
+		Checker: checker, Cycle: cycle, Core: core, Line: line,
+		Detail: fmt.Sprintf(format, args...),
+	}
+}
+
+// active reports whether the oracle should process hooks at all.
+func (o *Oracle) active() bool { return o != nil && o.err == nil }
+
+// OnStoreRetire records a store entering core's write buffer at
+// retirement: it is appended to the pending-store FIFO mirror and to the
+// own-store history used to verify forwarded loads.
+func (o *Oracle) OnStoreRetire(now int64, core int, addr mem.Addr, val uint32, seq uint64) {
+	if !o.active() || !o.opt.TSO && !o.opt.Fence {
+		return
+	}
+	cs := &o.cores[core]
+	cs.pending = append(cs.pending, pendingStore{seq: seq, addr: addr, val: val})
+	h := cs.own[addr]
+	if len(h) >= ownHistCap {
+		h = append(h[:0], h[1:]...)
+	}
+	cs.own[addr] = append(h, histEntry{seq: seq, val: val})
+}
+
+// OnStoreCommit verifies a store merging with the memory system: commits
+// must drain the write buffer in program (FIFO) order with unchanged
+// address and value, and they advance the committed-memory mirror.
+func (o *Oracle) OnStoreCommit(now int64, core int, addr mem.Addr, val uint32, seq uint64) {
+	if !o.active() || !o.opt.TSO && !o.opt.Fence {
+		return
+	}
+	cs := &o.cores[core]
+	if len(cs.pending) == 0 {
+		o.fail("tso", now, core, uint64(addr),
+			"store seq=%d committed with no retired store pending", seq)
+		return
+	}
+	head := cs.pending[0]
+	if head.seq != seq || head.addr != addr || head.val != val {
+		o.fail("tso", now, core, uint64(addr),
+			"store commit out of program order: committed seq=%d addr=%#x val=%d, expected head seq=%d addr=%#x val=%d",
+			seq, addr, val, head.seq, head.addr, head.val)
+		return
+	}
+	cs.pending = cs.pending[1:]
+	o.shadow[addr] = val
+	// A committed store leaves every barrier that was waiting on it.
+	kept := cs.barriers[:0]
+	for _, b := range cs.barriers {
+		ss := b.stores[:0]
+		for _, s := range b.stores {
+			if s != seq {
+				ss = append(ss, s)
+			}
+		}
+		b.stores = ss
+		if len(b.stores) > 0 {
+			kept = append(kept, b)
+		}
+	}
+	cs.barriers = kept
+}
+
+// OnAtomic verifies an atomic read-modify-write: atomics behave as full
+// fences (the write buffer must have drained), read the current globally
+// committed value, and commit their update immediately.
+func (o *Oracle) OnAtomic(now int64, core int, addr mem.Addr, old, new uint32, seq uint64) {
+	if !o.active() || !o.opt.TSO {
+		return
+	}
+	cs := &o.cores[core]
+	if len(cs.pending) != 0 {
+		o.fail("tso", now, core, uint64(addr),
+			"atomic seq=%d performed with %d pre-atomic store(s) uncommitted", seq, len(cs.pending))
+		return
+	}
+	if want := o.shadow[addr]; old != want {
+		o.fail("tso", now, core, uint64(addr),
+			"atomic seq=%d read %d, but the globally committed value is %d", seq, old, want)
+		return
+	}
+	o.shadow[addr] = new
+}
+
+// OnLoadPerform verifies a load reading the memory system: a
+// non-forwarded load must observe the current globally committed value.
+// Forwarded loads are verified at retirement instead (their source store
+// has retired by then).
+func (o *Oracle) OnLoadPerform(now int64, core int, addr mem.Addr, val uint32, forwarded bool, seq uint64) {
+	if !o.active() || !o.opt.TSO || forwarded {
+		return
+	}
+	if want := o.shadow[addr]; val != want {
+		o.fail("tso", now, core, uint64(addr),
+			"load seq=%d performed reading %d, but the globally committed value is %d", seq, val, want)
+	}
+}
+
+// OnLoadRetire verifies a load leaving the pipeline: no load may retire
+// while a prior strong-behaving fence's pre-fence stores are
+// uncommitted; a forwarded load must return its youngest older own
+// store's value; a non-forwarded load must still hold the globally
+// committed value (a conflicting remote commit must have squashed it).
+func (o *Oracle) OnLoadRetire(now int64, core int, addr mem.Addr, val uint32, seq uint64, forwarded bool) {
+	if !o.active() || !o.opt.TSO {
+		return
+	}
+	cs := &o.cores[core]
+	if len(cs.barriers) > 0 {
+		b := cs.barriers[0]
+		o.fail("tso", now, core, uint64(addr),
+			"load seq=%d retired past strong fence seq=%d whose %d pre-fence store(s) are uncommitted (TSO Ld->Ld/St->Ld order broken)",
+			seq, b.fenceSeq, len(b.stores))
+		return
+	}
+	if forwarded {
+		h := cs.own[addr]
+		var src *histEntry
+		for i := len(h) - 1; i >= 0; i-- {
+			if h[i].seq < seq {
+				src = &h[i]
+				break
+			}
+		}
+		if src == nil {
+			o.fail("tso", now, core, uint64(addr),
+				"forwarded load seq=%d retired with no older own store to forward from", seq)
+			return
+		}
+		if val != src.val {
+			o.fail("tso", now, core, uint64(addr),
+				"forwarded load seq=%d returned %d, but the youngest older own store (seq=%d) wrote %d",
+				seq, val, src.seq, src.val)
+		}
+		return
+	}
+	if want := o.shadow[addr]; val != want {
+		o.fail("tso", now, core, uint64(addr),
+			"load seq=%d retired holding %d, but the globally committed value is %d (missed squash?)",
+			seq, val, want)
+	}
+}
+
+// OnFenceRetire records a fence leaving the ROB head. strong reports the
+// behavior the design chose for it (conventional drain-first semantics
+// vs. weak early retirement), not the opcode.
+func (o *Oracle) OnFenceRetire(now int64, core int, seq uint64, strong bool) {
+	if !o.active() {
+		return
+	}
+	cs := &o.cores[core]
+	if o.opt.Fence {
+		if strong && len(cs.pending) != 0 {
+			o.fail("fence", now, core, 0,
+				"strong fence seq=%d retired with %d pre-fence store(s) uncommitted (drain condition skipped)",
+				seq, len(cs.pending))
+			return
+		}
+		if !strong && o.design == fence.SPlus {
+			o.fail("fence", now, core, 0,
+				"fence seq=%d retired with weak behavior under S+ (every fence must be conventional)", seq)
+			return
+		}
+	}
+	if o.opt.TSO && strong && len(cs.pending) != 0 {
+		b := barrier{fenceSeq: seq, stores: make([]uint64, 0, len(cs.pending))}
+		for _, p := range cs.pending {
+			b.stores = append(b.stores, p.seq)
+		}
+		cs.barriers = append(cs.barriers, b)
+	}
+}
+
+// OnFenceComplete verifies an active weak fence completing: every
+// pre-fence store (older than the fence) must have committed by then.
+func (o *Oracle) OnFenceComplete(now int64, core int, seq uint64) {
+	if !o.active() || !o.opt.Fence {
+		return
+	}
+	for _, p := range o.cores[core].pending {
+		if p.seq < seq {
+			o.fail("fence", now, core, uint64(p.addr),
+				"fence seq=%d completed while pre-fence store seq=%d is uncommitted", seq, p.seq)
+			return
+		}
+	}
+}
+
+// OnRollback processes a W+ checkpoint recovery: post-fence state
+// (stores and own-history entries with seq >= cut) is discarded from the
+// mirror, exactly as the core discards it. A rollback under any other
+// design is a fence-contract violation.
+func (o *Oracle) OnRollback(now int64, core int, cut uint64) {
+	if !o.active() {
+		return
+	}
+	if o.opt.Fence && o.design != fence.WPlus {
+		o.fail("fence", now, core, 0,
+			"checkpoint rollback fired under %s (only W+ has recovery)", o.design)
+		return
+	}
+	cs := &o.cores[core]
+	kept := cs.pending[:0]
+	for _, p := range cs.pending {
+		if p.seq < cut {
+			kept = append(kept, p)
+		}
+	}
+	cs.pending = kept
+	for a, h := range cs.own {
+		n := len(h)
+		for n > 0 && h[n-1].seq >= cut {
+			n--
+		}
+		if n == 0 {
+			delete(cs.own, a)
+		} else {
+			cs.own[a] = h[:n]
+		}
+	}
+	kb := cs.barriers[:0]
+	for _, b := range cs.barriers {
+		if b.fenceSeq < cut {
+			kb = append(kb, b)
+		}
+	}
+	cs.barriers = kb
+}
+
+// MarkLine queues line l for this cycle's coherence sweep. Components
+// call it on every L1 or directory state transition touching the line.
+func (o *Oracle) MarkLine(l mem.Line) {
+	if !o.active() || !o.opt.Coherence {
+		return
+	}
+	if _, dup := o.markedSet[l]; dup {
+		return
+	}
+	o.markedSet[l] = struct{}{}
+	o.marked = append(o.marked, l)
+}
+
+// EndCycle runs the coherence sweep over every line marked during the
+// cycle: the single-writer/multiple-reader invariant, and L1 contents
+// being a subset of what the directory tracks. The simulator calls it
+// once per stepped cycle, after all components have stepped.
+func (o *Oracle) EndCycle(now int64) {
+	if !o.active() || !o.opt.Coherence || len(o.marked) == 0 {
+		return
+	}
+	for _, l := range o.marked {
+		o.sweepLine(now, l)
+		delete(o.markedSet, l)
+	}
+	o.marked = o.marked[:0]
+}
+
+// sweepLine checks one line's machine-wide state.
+func (o *Oracle) sweepLine(now int64, l mem.Line) {
+	if o.err != nil || o.view == nil {
+		return
+	}
+	sharers, owner := o.view.DirLine(l)
+	if owner >= o.ncores {
+		o.fail("coherence", now, -1, uint64(l),
+			"directory records owner %d, but the machine has %d cores", owner, o.ncores)
+		return
+	}
+	if o.ncores < 64 && sharers>>uint(o.ncores) != 0 {
+		o.fail("coherence", now, -1, uint64(l),
+			"directory sharer mask %#x names nonexistent cores (ncores=%d)", sharers, o.ncores)
+		return
+	}
+	exclusiveHolder := -1
+	for c := 0; c < o.ncores; c++ {
+		held, excl := o.view.L1Holds(c, l)
+		if !held {
+			continue
+		}
+		if excl {
+			if exclusiveHolder >= 0 {
+				o.fail("coherence", now, c, uint64(l),
+					"SWMR broken: cores %d and %d both hold the line exclusively", exclusiveHolder, c)
+				return
+			}
+			exclusiveHolder = c
+			if owner != c {
+				o.fail("coherence", now, c, uint64(l),
+					"core holds the line M/E but the directory records owner %d", owner)
+				return
+			}
+		}
+		if sharers&(1<<uint(c)) == 0 && owner != c {
+			o.fail("coherence", now, c, uint64(l),
+				"stale copy: core holds the line but the directory tracks it neither as sharer nor owner")
+			return
+		}
+	}
+	if exclusiveHolder >= 0 {
+		for c := 0; c < o.ncores; c++ {
+			if c == exclusiveHolder {
+				continue
+			}
+			if held, _ := o.view.L1Holds(c, l); held {
+				o.fail("coherence", now, c, uint64(l),
+					"SWMR broken: core %d holds the line exclusively but core %d also holds a copy",
+					exclusiveHolder, c)
+				return
+			}
+		}
+	}
+}

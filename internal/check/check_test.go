@@ -1,0 +1,247 @@
+package check_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"asymfence/internal/check"
+	"asymfence/internal/fence"
+	"asymfence/internal/mem"
+)
+
+// fakeView is a scriptable machine view for exercising the coherence
+// sweep without a simulator.
+type fakeView struct {
+	l1      map[int][2]bool // core -> {held, exclusive}
+	sharers uint64
+	owner   int
+}
+
+func (v fakeView) L1Holds(core int, l mem.Line) (bool, bool) {
+	s := v.l1[core]
+	return s[0], s[1]
+}
+
+func (v fakeView) DirLine(l mem.Line) (uint64, int) { return v.sharers, v.owner }
+
+func bind(o *check.Oracle, v check.View, ncores int, d fence.Design) {
+	o.Bind(v, ncores, d)
+}
+
+// TestNilOracleSafe pins the zero-cost-when-disabled contract: every
+// hook must be callable on a nil *Oracle.
+func TestNilOracleSafe(t *testing.T) {
+	var o *check.Oracle
+	o.OnStoreRetire(1, 0, 0x100, 1, 1)
+	o.OnStoreCommit(2, 0, 0x100, 1, 1)
+	o.OnAtomic(3, 0, 0x104, 0, 2, 2)
+	o.OnLoadPerform(4, 0, 0x100, 1, false, 3)
+	o.OnLoadRetire(5, 0, 0x100, 1, 3, false)
+	o.OnFenceRetire(6, 0, 4, true)
+	o.OnFenceComplete(7, 0, 4)
+	o.OnRollback(8, 0, 2)
+	o.MarkLine(0x100)
+	o.EndCycle(9)
+	if err := o.Err(); err != nil {
+		t.Fatalf("nil oracle reported %v", err)
+	}
+	if v := o.Violation(); v != nil {
+		t.Fatalf("nil oracle carries a violation: %v", v)
+	}
+}
+
+// TestStoreCommitOrder verifies the TSO store-FIFO check: commits must
+// pop retired stores in order with matching values.
+func TestStoreCommitOrder(t *testing.T) {
+	o := check.New(check.All())
+	bind(o, fakeView{}, 2, fence.SPlus)
+	o.OnStoreRetire(1, 0, 0x100, 7, 1)
+	o.OnStoreRetire(2, 0, 0x104, 8, 2)
+	o.OnStoreCommit(3, 0, 0x104, 8, 2) // out of order: seq 2 before seq 1
+	var v *check.ViolationError
+	if !errors.As(o.Err(), &v) || v.Checker != "tso" {
+		t.Fatalf("out-of-order commit not flagged by the tso checker: %v", o.Err())
+	}
+}
+
+// TestStoreCommitValue verifies the shadow-memory value cross-check.
+func TestStoreCommitValue(t *testing.T) {
+	o := check.New(check.All())
+	bind(o, fakeView{}, 2, fence.SPlus)
+	o.OnStoreRetire(1, 0, 0x100, 7, 1)
+	o.OnStoreCommit(2, 0, 0x100, 9, 1) // committed value differs
+	if o.Err() == nil {
+		t.Fatal("value mismatch on commit not flagged")
+	}
+}
+
+// TestLoadSeesShadow verifies loads are checked against the committed
+// shadow image at perform time.
+func TestLoadSeesShadow(t *testing.T) {
+	o := check.New(check.All())
+	bind(o, fakeView{}, 2, fence.SPlus)
+	o.SeedShadow(0x100, 42)
+	o.OnLoadPerform(1, 1, 0x100, 42, false, 1)
+	if o.Err() != nil {
+		t.Fatalf("correct load flagged: %v", o.Err())
+	}
+	o.OnLoadPerform(2, 1, 0x100, 41, false, 2)
+	var v *check.ViolationError
+	if !errors.As(o.Err(), &v) || v.Checker != "tso" {
+		t.Fatalf("stale load not flagged by the tso checker: %v", o.Err())
+	}
+}
+
+// TestForwardedLoadChecked verifies store-to-load forwarding is checked
+// against the forwarding core's own uncommitted stores, not the shadow.
+func TestForwardedLoadChecked(t *testing.T) {
+	o := check.New(check.All())
+	bind(o, fakeView{}, 2, fence.SPlus)
+	o.SeedShadow(0x100, 1)
+	o.OnStoreRetire(1, 0, 0x100, 7, 1)
+	// Forwarded load must see 7 (the uncommitted store), not shadow's 1.
+	o.OnLoadPerform(2, 0, 0x100, 7, true, 2)
+	o.OnLoadRetire(3, 0, 0x100, 7, 2, true)
+	if o.Err() != nil {
+		t.Fatalf("correct forwarded load flagged: %v", o.Err())
+	}
+	o.OnLoadPerform(4, 0, 0x100, 3, true, 3)
+	o.OnLoadRetire(5, 0, 0x100, 3, 3, true)
+	if o.Err() == nil {
+		t.Fatal("forwarded load with a wrong value not flagged")
+	}
+}
+
+// TestBarrierViolation verifies the core TSO rule: a strong fence that
+// retires with uncommitted stores arms a barrier, and any load retiring
+// under it is a violation.
+func TestBarrierViolation(t *testing.T) {
+	o := check.New(check.Options{TSO: true})
+	bind(o, fakeView{}, 2, fence.SPlus)
+	o.OnStoreRetire(1, 0, 0x100, 7, 1)
+	o.OnFenceRetire(2, 0, 2, true) // strong fence past an undrained store
+	o.OnLoadPerform(3, 0, 0x200, 0, false, 3)
+	o.OnLoadRetire(4, 0, 0x200, 0, 3, false)
+	var v *check.ViolationError
+	if !errors.As(o.Err(), &v) || v.Checker != "tso" {
+		t.Fatalf("load under an armed barrier not flagged: %v", o.Err())
+	}
+	if !strings.Contains(v.Detail, "fence") {
+		t.Errorf("violation detail does not mention the fence: %q", v.Detail)
+	}
+}
+
+// TestBarrierClearsOnCommit verifies the barrier disarms once its stores
+// commit: the subsequent load is legal.
+func TestBarrierClearsOnCommit(t *testing.T) {
+	o := check.New(check.Options{TSO: true})
+	bind(o, fakeView{}, 2, fence.SPlus)
+	o.OnStoreRetire(1, 0, 0x100, 7, 1)
+	o.OnFenceRetire(2, 0, 2, true)
+	o.OnStoreCommit(3, 0, 0x100, 7, 1)
+	o.OnLoadPerform(4, 0, 0x100, 7, false, 3)
+	o.OnLoadRetire(5, 0, 0x100, 7, 3, false)
+	if o.Err() != nil {
+		t.Fatalf("load after barrier cleared flagged: %v", o.Err())
+	}
+}
+
+// TestFenceDrainSkipped verifies the fence-semantics checker flags a
+// strong fence completing with earlier stores still pending.
+func TestFenceDrainSkipped(t *testing.T) {
+	o := check.New(check.Options{Fence: true})
+	bind(o, fakeView{}, 2, fence.SPlus)
+	o.OnStoreRetire(1, 0, 0x100, 7, 1)
+	o.OnFenceComplete(2, 0, 5)
+	var v *check.ViolationError
+	if !errors.As(o.Err(), &v) || v.Checker != "fence" {
+		t.Fatalf("undrained fence completion not flagged: %v", o.Err())
+	}
+}
+
+// TestRollbackOnlyUnderWPlus verifies rollbacks are rejected under every
+// design except W+ (the only one with recovery hardware).
+func TestRollbackOnlyUnderWPlus(t *testing.T) {
+	o := check.New(check.Options{Fence: true})
+	bind(o, fakeView{}, 2, fence.SPlus)
+	o.OnRollback(1, 0, 1)
+	var v *check.ViolationError
+	if !errors.As(o.Err(), &v) || v.Checker != "fence" {
+		t.Fatalf("rollback under S+ not flagged: %v", o.Err())
+	}
+
+	o = check.New(check.Options{TSO: true, Fence: true})
+	bind(o, fakeView{}, 2, fence.WPlus)
+	o.OnStoreRetire(1, 0, 0x100, 7, 1)
+	o.OnStoreRetire(2, 0, 0x104, 8, 2)
+	o.OnRollback(3, 0, 2) // keeps seq 1, squashes seq 2
+	o.OnStoreCommit(4, 0, 0x100, 7, 1)
+	if o.Err() != nil {
+		t.Fatalf("legal W+ rollback flagged: %v", o.Err())
+	}
+}
+
+// TestCoherenceSweep drives the SWMR sweep through a scripted view.
+func TestCoherenceSweep(t *testing.T) {
+	// Legal: one exclusive holder, directory agrees.
+	o := check.New(check.Options{Coherence: true})
+	bind(o, fakeView{l1: map[int][2]bool{0: {true, true}}, owner: 0}, 2, fence.SPlus)
+	o.MarkLine(0x100)
+	o.EndCycle(1)
+	if o.Err() != nil {
+		t.Fatalf("legal exclusive holder flagged: %v", o.Err())
+	}
+
+	// Two exclusive holders: the SWMR violation.
+	o = check.New(check.Options{Coherence: true})
+	bind(o, fakeView{l1: map[int][2]bool{0: {true, true}, 1: {true, true}}, owner: 0}, 2, fence.SPlus)
+	o.MarkLine(0x100)
+	o.EndCycle(1)
+	var v *check.ViolationError
+	if !errors.As(o.Err(), &v) || v.Checker != "coherence" {
+		t.Fatalf("two exclusive holders not flagged: %v", o.Err())
+	}
+
+	// Holder unknown to the directory.
+	o = check.New(check.Options{Coherence: true})
+	bind(o, fakeView{l1: map[int][2]bool{1: {true, false}}, sharers: 0, owner: -1}, 2, fence.SPlus)
+	o.MarkLine(0x100)
+	o.EndCycle(1)
+	if o.Err() == nil {
+		t.Fatal("holder missing from the directory not flagged")
+	}
+}
+
+// TestFirstViolationLatches verifies only the first violation is kept
+// and later hooks become no-ops.
+func TestFirstViolationLatches(t *testing.T) {
+	o := check.New(check.All())
+	bind(o, fakeView{}, 2, fence.SPlus)
+	o.SeedShadow(0x100, 1)
+	o.OnLoadPerform(1, 0, 0x100, 9, false, 1) // first violation
+	o.OnLoadPerform(2, 0, 0x100, 8, false, 2) // would be a second
+	v := o.Violation()
+	if v == nil {
+		t.Fatal("no violation recorded")
+	}
+	if v.Cycle != 1 {
+		t.Fatalf("latched violation from cycle %d, want the first (1)", v.Cycle)
+	}
+}
+
+// TestBindResets verifies rebinding clears state from a previous run.
+func TestBindResets(t *testing.T) {
+	o := check.New(check.All())
+	bind(o, fakeView{}, 2, fence.SPlus)
+	o.OnStoreRetire(1, 0, 0x100, 7, 1)
+	bind(o, fakeView{}, 4, fence.WPlus)
+	// The pending store from the first binding must be gone: a strong
+	// fence retiring now arms no barrier and a load is legal.
+	o.OnFenceRetire(1, 0, 1, true)
+	o.OnLoadPerform(2, 0, 0x200, 0, false, 2)
+	o.OnLoadRetire(3, 0, 0x200, 0, 2, false)
+	if o.Err() != nil {
+		t.Fatalf("state leaked across Bind: %v", o.Err())
+	}
+}

@@ -1,0 +1,78 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"asymfence/internal/trace"
+)
+
+// Repro is a self-contained reproducer for a violation found by the fuzz
+// harness: everything needed to replay the failing run deterministically.
+// The fuzz driver fills it in after minimizing the generated programs;
+// violations raised outside the harness carry a nil Repro.
+type Repro struct {
+	// Seed is the generator/fault seed of the failing run.
+	Seed uint64
+	// Design is the fence design (paper name) the run used.
+	Design string
+	// NCores is the machine's core count.
+	NCores int
+	// Programs holds the (minimized) per-core program disassemblies.
+	Programs []string
+	// Events is the tail of the trace ring around the failing cycle.
+	Events []trace.Event
+}
+
+// ViolationError is the typed error every checker raises: which invariant
+// failed, where, and — when the fuzz harness raised it — a minimized
+// reproducer. The oracle latches the first violation of a run; Machine.Run
+// returns it in place of the normal result error.
+type ViolationError struct {
+	// Checker names the failing checker: "tso", "coherence" or "fence".
+	Checker string
+	// Cycle is the simulation cycle the violation was detected at.
+	Cycle int64
+	// Core is the core the violation is attributed to (-1 for
+	// machine-global invariants).
+	Core int
+	// Line is the cache-line or word address involved (0 when the
+	// invariant has no address).
+	Line uint64
+	// Detail is the human-readable statement of the broken invariant.
+	Detail string
+	// Repro is the minimized reproducer (nil outside the fuzz harness).
+	Repro *Repro
+}
+
+// Error renders the violation and, when present, the full reproducer.
+func (e *ViolationError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: %s violation at cycle %d", e.Checker, e.Cycle)
+	if e.Core >= 0 {
+		fmt.Fprintf(&b, " (core %d", e.Core)
+		if e.Line != 0 {
+			fmt.Fprintf(&b, ", addr %#x", e.Line)
+		}
+		b.WriteString(")")
+	} else if e.Line != 0 {
+		fmt.Fprintf(&b, " (addr %#x)", e.Line)
+	}
+	b.WriteString(": ")
+	b.WriteString(e.Detail)
+	if r := e.Repro; r != nil {
+		fmt.Fprintf(&b, "\nreproducer: seed=%d design=%s cores=%d", r.Seed, r.Design, r.NCores)
+		for _, p := range r.Programs {
+			b.WriteString("\n")
+			b.WriteString(strings.TrimRight(p, "\n"))
+		}
+		if len(r.Events) > 0 {
+			fmt.Fprintf(&b, "\nlast %d trace events:", len(r.Events))
+			for _, ev := range r.Events {
+				fmt.Fprintf(&b, "\n  @%d %-14s node=%d line=%#x a=%d b=%d c=%d",
+					ev.Cycle, ev.Kind, ev.Node, ev.Line, ev.A, ev.B, ev.C)
+			}
+		}
+	}
+	return b.String()
+}

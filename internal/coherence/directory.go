@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"asymfence/internal/cache"
+	"asymfence/internal/check"
 	"asymfence/internal/mem"
 	"asymfence/internal/noc"
 	"asymfence/internal/trace"
@@ -259,7 +260,11 @@ type Directory struct {
 	timers   timerHeap
 	timerSeq uint64
 
-	tr *trace.Tracer
+	tr  *trace.Tracer
+	chk *check.Oracle
+	// latFault, when non-nil, returns extra occupancy cycles for one
+	// storage access at this bank (deterministic fault injection).
+	latFault func(bank int) int64
 
 	Stats DirStats
 }
@@ -284,6 +289,15 @@ func NewDirectory(bank, nbanks int, mesh *Fabric, l2BytesPerBank int, grt *GRT) 
 
 // SetTracer attaches the machine's event tracer (nil disables).
 func (d *Directory) SetTracer(t *trace.Tracer) { d.tr = t }
+
+// SetChecker attaches the machine's invariant oracle (nil disables).
+// The directory marks every line whose sharer/owner state it mutates so
+// the oracle's end-of-cycle coherence sweep only visits touched lines.
+func (d *Directory) SetChecker(o *check.Oracle) { d.chk = o }
+
+// SetLatencyFault attaches a fault-injection hook stretching this bank's
+// storage occupancy (nil disables).
+func (d *Directory) SetLatencyFault(f func(bank int) int64) { d.latFault = f }
 
 func (d *Directory) entry(l mem.Line) *dirLine {
 	dl, ok := d.lines[l]
@@ -413,16 +427,22 @@ func (d *Directory) l2Line(l mem.Line) mem.Line {
 // the line in the bank (L2 victims are silently absorbed by memory — they
 // carry no directory state).
 func (d *Directory) storageLatency(l mem.Line) int64 {
+	var lat int64
 	if _, hit := d.l2.Lookup(d.l2Line(l)); hit {
 		d.Stats.L2Hits++
-		return d.l2Lat
+		lat = d.l2Lat
+	} else {
+		d.Stats.MemFetches++
+		if DebugMemFetch != nil {
+			DebugMemFetch(uint32(l))
+		}
+		d.l2.Install(d.l2Line(l), cache.Shared)
+		lat = d.memLat + d.l2Lat
 	}
-	d.Stats.MemFetches++
-	if DebugMemFetch != nil {
-		DebugMemFetch(uint32(l))
+	if d.latFault != nil {
+		lat += d.latFault(d.bank)
 	}
-	d.l2.Install(d.l2Line(l), cache.Shared)
-	return d.memLat + d.l2Lat
+	return lat
 }
 
 // DebugMemFetch, when set, observes every off-chip fetch (test hook).
@@ -457,6 +477,9 @@ func (d *Directory) fireGetSData(now int64, dl *dirLine, m Msg) {
 		dl.sharers |= 1 << uint(m.Core)
 		d.tr.Emit(now, trace.KDirGrant, int32(d.bank), uint64(m.Line), int64(m.Core), int64(GrantS), 0)
 		d.send(now, m.Core, Msg{Type: GrantS, Line: m.Line, Core: m.Core, ReqID: m.ReqID}, noc.CatProtocol)
+	}
+	if d.chk != nil {
+		d.chk.MarkLine(m.Line)
 	}
 	d.finish(now, dl)
 }
@@ -545,6 +568,9 @@ func (d *Directory) handleInvResp(now int64, m Msg) {
 		}
 	}
 	t.pendingAcks--
+	if d.chk != nil {
+		d.chk.MarkLine(m.Line)
+	}
 	if t.pendingAcks == 0 {
 		d.completeGetM(now, dl, t)
 	}
@@ -588,6 +614,9 @@ func (d *Directory) completeGetM(now int64, dl *dirLine, t *txn) {
 		d.tr.Emit(now, trace.KDirGrant, int32(d.bank), uint64(t.line), int64(req), int64(GrantM), 0)
 		d.send(now, req, Msg{Type: GrantM, Line: t.line, Core: req, ReqID: t.reqID}, noc.CatProtocol)
 	}
+	if d.chk != nil {
+		d.chk.MarkLine(t.line)
+	}
 	d.finish(now, dl)
 }
 
@@ -609,6 +638,9 @@ func (d *Directory) handleDowngradeAck(now int64, m Msg) {
 	dl.sharers |= 1 << uint(t.req)
 	d.tr.Emit(now, trace.KDirGrant, int32(d.bank), uint64(m.Line), int64(t.req), int64(GrantS), 0)
 	d.send(now, t.req, Msg{Type: GrantS, Line: m.Line, Core: t.req, ReqID: t.reqID}, noc.CatProtocol)
+	if d.chk != nil {
+		d.chk.MarkLine(m.Line)
+	}
 	d.finish(now, dl)
 }
 
@@ -633,6 +665,9 @@ func (d *Directory) handlePutM(now int64, m Msg) {
 	// a sharer so it keeps seeing (and can keep bouncing) writes to it.
 	if m.KeepSharer {
 		dl.sharers |= 1 << uint(m.Core)
+	}
+	if d.chk != nil {
+		d.chk.MarkLine(m.Line)
 	}
 }
 
@@ -683,6 +718,19 @@ func (d *Directory) SharersOf(l mem.Line) (sharers uint64, owner int) {
 
 // GRTEntry returns the registered pending set for a core (test hook).
 func (d *Directory) GRTEntry(core int) []mem.Line { return d.grt.Entry(core) }
+
+// PendingCounts summarizes the module's in-flight work for deadlock
+// reports: lines with an open transaction, total queued requests, and
+// armed timers.
+func (d *Directory) PendingCounts() (busy, queued, timers int) {
+	for _, dl := range d.lines {
+		if dl.busy != nil {
+			busy++
+		}
+		queued += len(dl.queue)
+	}
+	return busy, queued, len(d.timers)
+}
 
 // DebugState renders the module's in-flight work for deadlock reports:
 // every line with an open transaction or queued requesters, plus the

@@ -16,7 +16,9 @@ import (
 	"math"
 
 	"asymfence/internal/cache"
+	"asymfence/internal/check"
 	"asymfence/internal/coherence"
+	"asymfence/internal/faults"
 	"asymfence/internal/fence"
 	"asymfence/internal/isa"
 	"asymfence/internal/mem"
@@ -59,12 +61,29 @@ type Config struct {
 	// events. Nil (the default) disables tracing at zero cost.
 	Tracer *trace.Tracer
 
+	// Checker receives this core's retirement/commit stream for runtime
+	// invariant verification. Nil (the default) disables checking at
+	// zero cost.
+	Checker *check.Oracle
+
+	// Faults injects deterministic timing faults (write-buffer drain
+	// stalls) into this core. Nil (the default) injects nothing.
+	Faults *faults.Injector
+
 	// NoIdleSleep disables the idle-cycle memoization fast path, forcing
 	// a full pipeline evaluation every cycle. Results are identical
 	// either way (the equivalence test in internal/sim asserts it); the
 	// switch exists for that cross-check and for debugging.
 	NoIdleSleep bool
 }
+
+// DefaultWPlusTimeout is the default W+ deadlock-suspicion timeout in
+// cycles (Config.WPlusTimeout overrides it): long enough that ordinary
+// transient bouncing (which resolves as soon as the remote fence
+// completes, typically well under 100 cycles) rarely trips a rollback,
+// short enough that a genuine deadlock is broken quickly. The machine
+// watchdog must exceed it (sim.Config.Validate enforces this).
+const DefaultWPlusTimeout = 150
 
 func (c *Config) applyDefaults() {
 	if c.ROBSize == 0 {
@@ -95,11 +114,7 @@ func (c *Config) applyDefaults() {
 		c.BSCapacity = fence.DefaultBSCapacity
 	}
 	if c.WPlusTimeout == 0 {
-		// Long enough that ordinary transient bouncing (which resolves as
-		// soon as the remote fence completes, typically well under 100
-		// cycles) rarely trips a rollback, short enough that a genuine
-		// deadlock is broken quickly.
-		c.WPlusTimeout = 150
+		c.WPlusTimeout = DefaultWPlusTimeout
 	}
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 10
@@ -234,6 +249,8 @@ type Core struct {
 	store *mem.Store
 	st    *stats.Core
 	tr    *trace.Tracer
+	chk   *check.Oracle
+	flt   *faults.Injector
 
 	l1 *cache.Cache
 	bs *fence.BypassSet
@@ -265,6 +282,7 @@ type Core struct {
 	wbRetryAt  int64
 	wbBounced  bool // current head store has been nacked at least once
 	wbOrder    bool // current request carries the O bit
+	wbStalled  bool // fault injection already drew for the current head
 
 	// In-flight atomic (Xchg) transaction.
 	atomReqID    uint64
@@ -350,6 +368,8 @@ func New(cfg Config, prog *isa.Program, mesh *coherence.Fabric, store *mem.Store
 		store:      store,
 		st:         stats.NewCore(),
 		tr:         cfg.Tracer,
+		chk:        cfg.Checker,
+		flt:        cfg.Faults,
 		l1:         cache.New(cfg.L1Bytes, cfg.L1Assoc),
 		bs:         fence.NewBypassSet(cfg.BSCapacity, cfg.BSBloom),
 		loadMisses: make(map[mem.Line]*loadMiss),
@@ -371,6 +391,21 @@ func (c *Core) Finished() bool { return c.finished }
 
 // BypassSet exposes the core's BS (test hook).
 func (c *Core) BypassSet() *fence.BypassSet { return c.bs }
+
+// WBDepth returns the current write-buffer occupancy (deadlock
+// diagnostics and the invariant oracle's machine view).
+func (c *Core) WBDepth() int { return len(c.wb) }
+
+// L1Holds reports whether this core's private L1 currently holds line l,
+// and whether it holds it exclusively (Modified or Exclusive). It is the
+// invariant oracle's read-only view; Peek does not disturb LRU state.
+func (c *Core) L1Holds(l mem.Line) (held, exclusive bool) {
+	st, ok := c.l1.Peek(l)
+	if !ok {
+		return false, false
+	}
+	return true, st == cache.Modified || st == cache.Exclusive
+}
 
 // Reg returns the architectural value of a register once the core has
 // finished (test hook). It panics if the register's value is still

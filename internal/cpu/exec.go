@@ -123,6 +123,9 @@ func (c *Core) performLoad(when int64, e *robEntry) {
 // performLoadValue completes a load with an explicit value (forwarding).
 func (c *Core) performLoadValue(when int64, e *robEntry, v uint32) {
 	c.acted = true
+	if c.chk != nil {
+		c.chk.OnLoadPerform(when, c.cfg.ID, e.addr, v, e.forwarded, e.seq)
+	}
 	e.performed = true
 	e.val = v
 	e.ready = when
@@ -171,6 +174,12 @@ func (c *Core) installL1(now int64, l mem.Line, st cache.State) {
 			Type: coherence.PutM, Line: ev.Line, Core: c.cfg.ID,
 			KeepSharer: c.bs.Contains(ev.Line),
 		}, noc.CatProtocol)
+	}
+	if c.chk != nil {
+		c.chk.MarkLine(l)
+		if evicted {
+			c.chk.MarkLine(ev.Line)
+		}
 	}
 }
 

@@ -19,12 +19,22 @@ func (c *Core) drainWB(now int64) {
 	if len(c.wb) == 0 || c.wbInFlight || now < c.wbRetryAt {
 		return
 	}
+	if c.flt != nil && !c.wbStalled {
+		// Fault injection: one stall draw per head drain attempt. The
+		// delay lands on wbRetryAt, which computeWake already considers,
+		// so a stalled core still sleeps and wakes correctly.
+		c.wbStalled = true
+		if d := c.flt.WBDelay(c.cfg.ID); d > 0 {
+			c.wbRetryAt = now + d
+			return
+		}
+	}
 	h := c.wb[0]
 	line := mem.LineOf(h.addr)
 	if st, ok := c.l1.Peek(line); ok && (st == cache.Modified || st == cache.Exclusive) {
 		// Write hit: complete locally.
 		c.l1.SetState(line, cache.Modified)
-		c.store.StoreWord(h.addr, h.val)
+		c.commitStore(now, h.addr, h.val, h.seq)
 		c.completeHeadStore(now)
 		return
 	}
@@ -69,6 +79,15 @@ func (c *Core) coveringWF(storeSeq uint64) bool {
 	return false
 }
 
+// commitStore merges one write-buffer store with the memory system,
+// notifying the invariant oracle of the commit.
+func (c *Core) commitStore(now int64, a mem.Addr, v uint32, seq uint64) {
+	c.store.StoreWord(a, v)
+	if c.chk != nil {
+		c.chk.OnStoreCommit(now, c.cfg.ID, a, v, seq)
+	}
+}
+
 func (c *Core) completeHeadStore(now int64) {
 	c.acted = true
 	c.wb = c.wb[1:]
@@ -76,6 +95,7 @@ func (c *Core) completeHeadStore(now int64) {
 	c.wbBounced = false
 	c.wbOrder = false
 	c.wbRetryAt = 0
+	c.wbStalled = false
 	c.completeFences(now)
 }
 
@@ -89,13 +109,13 @@ func (c *Core) handleStoreGrant(now int64, m coherence.Msg) {
 	switch m.Type {
 	case coherence.GrantM:
 		c.installL1(now, m.Line, cache.Modified)
-		c.store.StoreWord(h.addr, h.val)
+		c.commitStore(now, h.addr, h.val, h.seq)
 		c.completeHeadStore(now)
 	case coherence.GrantOrder:
 		// Order / successful CO: the update merges but the line stays
 		// Shared locally; BS matchers remain sharers at the directory.
 		c.installL1(now, m.Line, cache.Shared)
-		c.store.StoreWord(h.addr, h.val)
+		c.commitStore(now, h.addr, h.val, h.seq)
 		if m.ReqID == c.wbReqID {
 			if c.cfg.Design == fence.SWPlus {
 				c.st.CondOrderOps++
@@ -113,6 +133,7 @@ func (c *Core) handleStoreGrant(now int64, m coherence.Msg) {
 		c.tr.Emit(now, trace.KWBBounce, int32(c.cfg.ID), uint64(m.Line), int64(h.seq), 0, 0)
 		c.wbInFlight = false
 		c.wbRetryAt = now + c.cfg.RetryBackoff
+		c.wbStalled = false
 	}
 }
 
@@ -210,6 +231,9 @@ func (c *Core) handleInv(now int64, m coherence.Msg) {
 	}
 	c.squashSpeculativeLoads(now, m.Line)
 	_, dirty := c.l1.Invalidate(m.Line)
+	if c.chk != nil {
+		c.chk.MarkLine(m.Line)
+	}
 	if hit {
 		trueShare := m.WordMask != 0 && m.WordMask&words != 0
 		c.send(now, c.home(m.Line), coherence.Msg{
@@ -232,6 +256,9 @@ func (c *Core) handleDowngrade(now int64, m coherence.Msg) {
 	dirty := ok && st == cache.Modified
 	if ok {
 		c.l1.SetState(m.Line, cache.Shared)
+		if c.chk != nil {
+			c.chk.MarkLine(m.Line)
+		}
 	}
 	c.send(now, c.home(m.Line), coherence.Msg{
 		Type: coherence.DowngradeAck, Line: m.Line, Core: c.cfg.ID,
@@ -253,6 +280,9 @@ func (c *Core) completeFences(now int64) {
 		c.st.BSLinesSum += uint64(c.bs.Len())
 		c.st.BSLinesSamples++
 		c.tr.Emit(now, trace.KFenceComplete, int32(c.cfg.ID), 0, int64(f.seq), int64(c.bs.Len()), 0)
+		if c.chk != nil {
+			c.chk.OnFenceComplete(now, c.cfg.ID, f.seq)
+		}
 		c.bs.CompleteFence(f.seq)
 		if f.wee {
 			dst := f.module
@@ -334,6 +364,11 @@ func (c *Core) recoverWPlus(now int64) {
 	c.acted = true
 	c.st.Recoveries++
 	c.tr.Emit(now, trace.KRecovery, int32(c.cfg.ID), 0, int64(f.seq), int64(f.pcAfter), 0)
+	if c.chk != nil {
+		// The oracle discards its post-fence mirror state exactly as the
+		// core does: write-buffer entries with seq >= f.seq are dropped.
+		c.chk.OnRollback(now, c.cfg.ID, f.seq)
+	}
 	c.undoTo(f.seq + 1)
 	// Un-count Stat events that will be replayed.
 	keep := c.statLog[:0]

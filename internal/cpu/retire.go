@@ -14,6 +14,12 @@ import (
 // (core, line, loadPC, fenceModule) — test diagnostics hook.
 var DebugDemote func(core int, line uint32, pc, module int)
 
+// DebugBrokenFence, when true, deliberately breaks SFence: it retires
+// without waiting for the write buffer to drain. Test-only — it exists
+// to prove the TSO checker catches a fence implementation that skips its
+// drain condition (see internal/sim's broken-design regression test).
+var DebugBrokenFence bool
+
 // blockReason classifies why retirement is blocked this cycle, for the
 // paper's busy / fence-stall / other-stall breakdown.
 type blockReason uint8
@@ -90,7 +96,11 @@ func (c *Core) tryRetire(now int64, e *robEntry) (bool, blockReason) {
 		if !e.performed || now < e.ready {
 			return false, rMem
 		}
-		return c.retireLoad(now, e)
+		ok, reason := c.retireLoad(now, e)
+		if ok && c.chk != nil {
+			c.chk.OnLoadRetire(now, c.cfg.ID, e.addr, e.val, e.seq, e.forwarded)
+		}
+		return ok, reason
 
 	case isa.St:
 		if !e.addrOK || !e.dataOK || now < maxi64(e.addrReady, e.dataReady) {
@@ -100,6 +110,9 @@ func (c *Core) tryRetire(now int64, e *robEntry) (bool, blockReason) {
 			return false, rExec
 		}
 		c.wb = append(c.wb, wbEntry{addr: e.addr, val: e.dataVal, seq: e.seq})
+		if c.chk != nil {
+			c.chk.OnStoreRetire(now, c.cfg.ID, e.addr, e.dataVal, e.seq)
+		}
 		return true, rNone
 
 	case isa.Xchg:
@@ -109,11 +122,14 @@ func (c *Core) tryRetire(now int64, e *robEntry) (bool, blockReason) {
 		if c.cfg.Design == fence.CFence {
 			return c.retireCFence(now, e)
 		}
-		if len(c.wb) != 0 {
+		if len(c.wb) != 0 && !DebugBrokenFence {
 			return false, rFence
 		}
 		c.st.SFences++
 		c.tr.Emit(now, trace.KFenceStrong, int32(c.cfg.ID), 0, int64(e.pc), 0, 0)
+		if c.chk != nil {
+			c.chk.OnFenceRetire(now, c.cfg.ID, e.seq, true)
+		}
 		return true, rNone
 
 	case isa.WFence:
@@ -228,6 +244,9 @@ func (c *Core) performAtomic(when int64, e *robEntry) {
 	c.acted = true
 	old := c.store.Load(e.addr)
 	c.store.StoreWord(e.addr, e.dataVal)
+	if c.chk != nil {
+		c.chk.OnAtomic(when, c.cfg.ID, e.addr, old, e.dataVal, e.seq)
+	}
 	e.performed = true
 	e.val = old
 	e.ready = when
@@ -252,6 +271,9 @@ func (c *Core) retireWeakFence(now int64, e *robEntry) (bool, blockReason) {
 		}
 		c.st.SFences++
 		c.tr.Emit(now, trace.KFenceStrong, int32(c.cfg.ID), 0, int64(e.pc), 0, 0)
+		if c.chk != nil {
+			c.chk.OnFenceRetire(now, c.cfg.ID, e.seq, true)
+		}
 		return true, rNone
 	}
 	if len(c.wb) == 0 {
@@ -262,6 +284,10 @@ func (c *Core) retireWeakFence(now int64, e *robEntry) (bool, blockReason) {
 		c.tr.Emit(now, trace.KFenceComplete, int32(c.cfg.ID), 0, int64(e.seq), int64(c.bs.Len()), 0)
 		if c.weeDepositSent {
 			c.resetWeeHandshake(now, true)
+		}
+		if c.chk != nil {
+			c.chk.OnFenceRetire(now, c.cfg.ID, e.seq, false)
+			c.chk.OnFenceComplete(now, c.cfg.ID, e.seq)
 		}
 		return true, rNone
 	}
@@ -274,6 +300,9 @@ func (c *Core) retireWeakFence(now int64, e *robEntry) (bool, blockReason) {
 	c.tr.Emit(now, trace.KFenceWeak, int32(c.cfg.ID), 0, int64(e.pc), int64(e.seq), 0)
 	f := &activeFence{seq: e.seq, pcAfter: e.pc + 1, undoMark: len(c.undoLog)}
 	c.fences = append(c.fences, f)
+	if c.chk != nil {
+		c.chk.OnFenceRetire(now, c.cfg.ID, e.seq, false)
+	}
 	return true, rNone
 }
 
@@ -338,6 +367,9 @@ func (c *Core) retireWeeFence(now int64, e *robEntry) (bool, blockReason) {
 		c.st.SFences++
 		c.st.DemotedWFences++
 		c.tr.Emit(now, trace.KFenceStrong, int32(c.cfg.ID), 0, int64(e.pc), 0, 0)
+		if c.chk != nil {
+			c.chk.OnFenceRetire(now, c.cfg.ID, e.seq, true)
+		}
 		return true, rNone
 	}
 	if !c.weeDepositAck {
@@ -354,6 +386,9 @@ func (c *Core) retireWeeFence(now int64, e *robEntry) (bool, blockReason) {
 	c.weeDepositSent = false
 	c.weeDepositAck = false
 	c.weeRemote = nil
+	if c.chk != nil {
+		c.chk.OnFenceRetire(now, c.cfg.ID, e.seq, false)
+	}
 	return true, rNone
 }
 
@@ -395,6 +430,9 @@ func (c *Core) retireCFence(now int64, e *robEntry) (bool, blockReason) {
 		c.cfState = 0
 		c.st.SFences++ // behaved as a conventional fence
 		c.tr.Emit(now, trace.KFenceStrong, int32(c.cfg.ID), 0, int64(e.pc), 0, 0)
+		if c.chk != nil {
+			c.chk.OnFenceRetire(now, c.cfg.ID, e.seq, true)
+		}
 		return true, rNone
 	case 3: // free: retire now, stay registered until the drain completes
 		c.cfState = 0
@@ -406,10 +444,17 @@ func (c *Core) retireCFence(now int64, e *robEntry) (bool, blockReason) {
 				Group: e.in.Imm,
 			}, noc.CatFence)
 			c.tr.Emit(now, trace.KFenceComplete, int32(c.cfg.ID), 0, int64(e.seq), int64(c.bs.Len()), 0)
+			if c.chk != nil {
+				c.chk.OnFenceRetire(now, c.cfg.ID, e.seq, false)
+				c.chk.OnFenceComplete(now, c.cfg.ID, e.seq)
+			}
 			return true, rNone
 		}
 		f := &activeFence{seq: e.seq, pcAfter: e.pc + 1, cf: true, cfGroup: e.in.Imm, weeID: c.cfReqID}
 		c.fences = append(c.fences, f)
+		if c.chk != nil {
+			c.chk.OnFenceRetire(now, c.cfg.ID, e.seq, false)
+		}
 		return true, rNone
 	}
 	return false, rFence

@@ -1,0 +1,90 @@
+package faults_test
+
+import (
+	"testing"
+
+	"asymfence/internal/faults"
+)
+
+// drawAll samples n delays of each kind and returns them concatenated.
+func drawAll(in *faults.Injector, n int) []int64 {
+	var out []int64
+	for i := 0; i < n; i++ {
+		out = append(out, in.NoCDelay(i%4, (i+1)%4, 8))
+		out = append(out, in.DirDelay(i%8))
+		out = append(out, in.WBDelay(i%8))
+	}
+	return out
+}
+
+// TestNilInjectorSafe pins the zero-cost-when-disabled contract.
+func TestNilInjectorSafe(t *testing.T) {
+	var in *faults.Injector
+	if d := in.NoCDelay(0, 1, 8); d != 0 {
+		t.Fatalf("nil injector NoCDelay = %d", d)
+	}
+	if d := in.DirDelay(0); d != 0 {
+		t.Fatalf("nil injector DirDelay = %d", d)
+	}
+	if d := in.WBDelay(0); d != 0 {
+		t.Fatalf("nil injector WBDelay = %d", d)
+	}
+}
+
+// TestDeterministic verifies two injectors with the same seed and config
+// produce identical delay sequences.
+func TestDeterministic(t *testing.T) {
+	a := drawAll(faults.New(42, faults.Default()), 2000)
+	b := drawAll(faults.New(42, faults.Default()), 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverges: %d != %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSeedsDiffer verifies different seeds give different schedules.
+func TestSeedsDiffer(t *testing.T) {
+	a := drawAll(faults.New(1, faults.Default()), 2000)
+	b := drawAll(faults.New(2, faults.Default()), 2000)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 1 and 2 produced identical fault schedules")
+	}
+}
+
+// TestZeroConfigDisables verifies a zero Config never fires.
+func TestZeroConfigDisables(t *testing.T) {
+	for i, d := range drawAll(faults.New(3, faults.Config{}), 500) {
+		if d != 0 {
+			t.Fatalf("zero config fired at draw %d: %d", i, d)
+		}
+	}
+}
+
+// TestBoundsAndRate verifies magnitudes stay within the configured
+// maxima and the firing rate is in the right ballpark for 1-in-N.
+func TestBoundsAndRate(t *testing.T) {
+	cfg := faults.Config{NoCJitterProb: 8, NoCJitterMax: 12}
+	in := faults.New(9, cfg)
+	const n = 8000
+	fired := 0
+	for i := 0; i < n; i++ {
+		d := in.NoCDelay(i%4, (i+1)%4, 8)
+		if d < 0 || d > int64(cfg.NoCJitterMax) {
+			t.Fatalf("delay %d outside [0, %d]", d, cfg.NoCJitterMax)
+		}
+		if d > 0 {
+			fired++
+		}
+	}
+	// Expect ~n/8 = 1000 firings; allow a wide band.
+	if fired < n/16 || fired > n/4 {
+		t.Fatalf("1-in-8 fault fired %d/%d times", fired, n)
+	}
+}

@@ -1,0 +1,88 @@
+package isa_test
+
+import (
+	"fmt"
+	"testing"
+
+	"asymfence/internal/isa"
+)
+
+// FuzzAssembler drives the program builder with an arbitrary token
+// stream: random opcodes, registers, immediates, and (possibly
+// duplicate, possibly dangling) labels. The contract under test is that
+// assembly never panics — malformed programs must surface as Build
+// errors — and that every successfully built program disassembles.
+func FuzzAssembler(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{13, 0, 13, 0, 18, 1})         // branch + duplicate labels
+	f.Add([]byte{14, 200, 14, 200, 255, 0, 9}) // dangling labels
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := isa.NewBuilder("fuzz")
+		i := 0
+		next := func() byte {
+			if i >= len(data) {
+				return 0
+			}
+			v := data[i]
+			i++
+			return v
+		}
+		reg := func() isa.Reg { return isa.Reg(next() % isa.NumRegs) }
+		imm := func() int32 { return int32(next()) - 128 }
+		lbl := func() string { return fmt.Sprintf("L%d", next()%8) }
+		for step := 0; step <= len(data); step++ {
+			switch next() % 20 {
+			case 0:
+				b.Nop()
+			case 1:
+				b.Li(reg(), imm())
+			case 2:
+				b.Mov(reg(), reg())
+			case 3:
+				b.Add(reg(), reg(), reg())
+			case 4:
+				b.AddI(reg(), reg(), imm())
+			case 5:
+				b.Ld(reg(), reg(), imm())
+			case 6:
+				b.St(reg(), reg(), imm())
+			case 7:
+				b.Xchg(reg(), reg(), reg(), imm())
+			case 8:
+				b.SFence()
+			case 9:
+				b.WFence()
+			case 10:
+				b.Beq(reg(), reg(), lbl())
+			case 11:
+				b.Bne(reg(), reg(), lbl())
+			case 12:
+				b.Blt(reg(), reg(), lbl())
+			case 13:
+				b.Jmp(lbl())
+			case 14:
+				b.Label(lbl())
+			case 15:
+				b.Work(imm())
+			case 16:
+				b.WorkLoop(imm(), reg())
+			case 17:
+				b.Stat(imm())
+			case 18:
+				b.LCG(reg(), reg())
+			case 19:
+				b.Halt()
+			}
+		}
+		p, err := b.Build()
+		if err != nil {
+			// Malformed token streams (dangling or duplicate labels) must
+			// fail cleanly, never panic.
+			return
+		}
+		if s := p.String(); s == "" {
+			t.Fatal("built program has an empty disassembly")
+		}
+	})
+}

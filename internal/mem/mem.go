@@ -76,6 +76,15 @@ func (s *Store) StoreWord(a Addr, v uint32) {
 	s.words[a] = v
 }
 
+// ForEach calls f for every word that has ever been written, in
+// unspecified order. The invariant oracle uses it to seed its shadow
+// memory from a workload's pre-initialized state.
+func (s *Store) ForEach(f func(a Addr, v uint32)) {
+	for a, v := range s.words {
+		f(a, v)
+	}
+}
+
 // Allocator hands out regions of the simulated address space. Workloads
 // use it to lay out their shared data structures; tests use the recorded
 // symbols to locate them afterwards.

@@ -145,6 +145,11 @@ type Mesh[P any] struct {
 	inFlight   int
 	stats      Stats
 	tr         *trace.Tracer
+	// delayFn, when non-nil, returns extra cycles to add to a packet's
+	// delivery latency (deterministic fault injection). The extra delay
+	// is applied before the per-channel FIFO clamp, so point-to-point
+	// ordering survives jitter.
+	delayFn func(src, dst, size int) int64
 }
 
 // NewMesh builds a width x height mesh with default link parameters.
@@ -176,6 +181,11 @@ func MeshFor(n int) (width, height int) {
 // SetTracer attaches the machine's event tracer (nil disables; packet
 // send/deliver events are the trace's highest-frequency class).
 func (m *Mesh[P]) SetTracer(t *trace.Tracer) { m.tr = t }
+
+// SetDelayFn attaches a fault-injection delay hook (nil disables). The
+// hook is called once per Send with the packet's (src, dst, size) and
+// its result is added to the mesh latency before FIFO clamping.
+func (m *Mesh[P]) SetDelayFn(f func(src, dst, size int) int64) { m.delayFn = f }
 
 // Nodes returns the node count.
 func (m *Mesh[P]) Nodes() int { return m.width * m.height }
@@ -218,6 +228,9 @@ func (m *Mesh[P]) Send(now int64, p Packet[P]) {
 	m.seq++
 	m.inFlight++
 	arrive := now + m.Latency(p.Src, p.Dst, p.Size)
+	if m.delayFn != nil {
+		arrive += m.delayFn(p.Src, p.Dst, p.Size)
+	}
 	ch := p.Src*m.Nodes() + p.Dst
 	if arrive < m.lastArrive[ch] {
 		arrive = m.lastArrive[ch]

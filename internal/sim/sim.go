@@ -12,8 +12,10 @@ import (
 	"errors"
 	"fmt"
 
+	"asymfence/internal/check"
 	"asymfence/internal/coherence"
 	"asymfence/internal/cpu"
+	"asymfence/internal/faults"
 	"asymfence/internal/fence"
 	"asymfence/internal/isa"
 	"asymfence/internal/mem"
@@ -54,6 +56,16 @@ type Config struct {
 	// Trace receives every component's events (nil, the default,
 	// disables tracing at zero cost; see internal/trace).
 	Trace *trace.Tracer
+
+	// Checker is the runtime invariant oracle (nil, the default,
+	// disables checking at zero cost; see internal/check). A violation
+	// ends the run with the oracle's *check.ViolationError.
+	Checker *check.Oracle
+
+	// Faults injects deterministic timing faults into the NoC, the
+	// directories and the cores' write buffers (nil, the default,
+	// injects nothing; see internal/faults).
+	Faults *faults.Injector
 
 	// SampleInterval, when positive, snapshots per-core cycle-breakdown
 	// deltas every that many cycles into Result.Intervals.
@@ -104,6 +116,8 @@ type Machine struct {
 	delivBuf []coherence.Packet
 	// skipped counts cycles elided by fastForward (diagnostics/tests).
 	skipped int64
+	// chk is the attached invariant oracle (nil when checking is off).
+	chk *check.Oracle
 }
 
 // New builds a machine running programs[i] on core i. len(programs) must
@@ -116,12 +130,22 @@ func New(cfg Config, programs []*isa.Program, store *mem.Store) (*Machine, error
 	w, h := noc.MeshFor(cfg.NCores)
 	mesh := noc.NewMesh[coherence.Msg](w, h)
 	mesh.SetTracer(cfg.Trace)
+	if cfg.Faults != nil {
+		mesh.SetDelayFn(cfg.Faults.NoCDelay)
+	}
 	grt := coherence.NewGRT()
 	m := &Machine{cfg: cfg, mesh: mesh, store: store, tr: cfg.Trace,
-		sampler: trace.NewSampler(cfg.SampleInterval, cfg.NCores)}
+		sampler: trace.NewSampler(cfg.SampleInterval, cfg.NCores),
+		chk:     cfg.Checker}
 	for i := 0; i < cfg.NCores; i++ {
 		d := coherence.NewDirectory(i, cfg.NCores, mesh, cfg.L2BytesPerBank, grt)
 		d.SetTracer(cfg.Trace)
+		if cfg.Checker != nil {
+			d.SetChecker(cfg.Checker)
+		}
+		if cfg.Faults != nil {
+			d.SetLatencyFault(cfg.Faults.DirDelay)
+		}
 		m.dirs = append(m.dirs, d)
 		cc := cfg.Core
 		cc.ID = i
@@ -129,10 +153,18 @@ func New(cfg Config, programs []*isa.Program, store *mem.Store) (*Machine, error
 		cc.Design = cfg.Design
 		cc.Privacy = cfg.Privacy
 		cc.Tracer = cfg.Trace
+		cc.Checker = cfg.Checker
+		cc.Faults = cfg.Faults
 		cc.NoIdleSleep = cfg.PureStepping
 		core := cpu.New(cc, programs[i], mesh, store)
 		m.cores = append(m.cores, core)
 		m.coreStats = append(m.coreStats, core.Stats())
+	}
+	if cfg.Checker != nil {
+		cfg.Checker.Bind(oracleView{m}, cfg.NCores, cfg.Design)
+		// Seed the oracle's committed-memory mirror with the workload's
+		// pre-initialized state so the first loads validate exactly.
+		store.ForEach(cfg.Checker.SeedShadow)
 	}
 	for _, r := range cfg.WarmRegions {
 		for l := mem.LineOf(r.Base); l < mem.Line(r.Base+r.Size); l += mem.LineSize {
@@ -153,6 +185,27 @@ func (m *Machine) Core(i int) *cpu.Core { return m.cores[i] }
 
 // Directory returns directory module i (test hook).
 func (m *Machine) Directory(i int) *coherence.Directory { return m.dirs[i] }
+
+// oracleView adapts the machine to the invariant oracle's read-only
+// coherence view (check.View), consulted during end-of-cycle sweeps.
+type oracleView struct{ m *Machine }
+
+func (v oracleView) L1Holds(core int, l mem.Line) (held, exclusive bool) {
+	return v.m.cores[core].L1Holds(l)
+}
+
+func (v oracleView) DirLine(l mem.Line) (sharers uint64, owner int) {
+	return v.m.dirs[mem.HomeBank(l, v.m.cfg.NCores)].SharersOf(l)
+}
+
+// violation returns the oracle's latched violation, or nil. The check is
+// one nil test per cycle when no oracle is attached.
+func (m *Machine) violation() error {
+	if m.chk == nil {
+		return nil
+	}
+	return m.chk.Err()
+}
 
 // Step advances the whole machine one cycle.
 func (m *Machine) Step() {
@@ -176,6 +229,9 @@ func (m *Machine) Step() {
 	}
 	for _, c := range m.cores {
 		c.Step(now)
+	}
+	if m.chk != nil {
+		m.chk.EndCycle(now)
 	}
 	if m.sampler.Due(now) {
 		for i, st := range m.coreStats {
@@ -261,11 +317,17 @@ func (m *Machine) Run() (*Result, error) { return m.RunCtx(context.Background())
 // every few thousand cycles and, once it is canceled, returns the
 // partial result with an error wrapping context.Canceled.
 func (m *Machine) RunCtx(ctx context.Context) (*Result, error) {
+	if err := m.cfg.Validate(); err != nil {
+		return nil, err
+	}
 	done := ctx.Done()
 	lastProgress := m.cycle
 	lastRetired := m.totalRetired()
 	for m.cycle < m.cfg.MaxCycles {
 		m.Step()
+		if err := m.violation(); err != nil {
+			return m.result(false), err
+		}
 		if m.Finished() {
 			return m.result(true), nil
 		}
@@ -355,10 +417,16 @@ func (m *Machine) RunFor(n int64) *Result {
 
 // RunForCtx is RunFor with cooperative cancellation; see RunCtx.
 func (m *Machine) RunForCtx(ctx context.Context, n int64) (*Result, error) {
+	if err := m.cfg.Validate(); err != nil {
+		return nil, err
+	}
 	done := ctx.Done()
 	end := m.cycle + n
 	for m.cycle < end {
 		m.Step()
+		if err := m.violation(); err != nil {
+			return m.result(false), err
+		}
 		if done != nil && m.cycle&cancelPollMask == 0 {
 			select {
 			case <-done:

@@ -1,0 +1,141 @@
+package litmus
+
+import (
+	"fmt"
+
+	"asymfence/internal/isa"
+	"asymfence/internal/mem"
+)
+
+// GenConfig parameterizes the seeded random litmus generator. Zero
+// fields get defaults.
+type GenConfig struct {
+	// Seed drives every random decision; a fixed seed reproduces the
+	// exact same programs.
+	Seed uint64
+	// NCores is the thread count; 0 derives 2, 4 or 8 from the seed
+	// (the machine requires a power-of-two core count).
+	NCores int
+	// OpsPerCore bounds the random operations per thread before the
+	// final halt (default 24).
+	OpsPerCore int
+	// SharedLines is the size of the contended region in cache lines
+	// (default 4) — small on purpose, so threads genuinely race.
+	SharedLines int
+}
+
+// GenResult is one generated litmus instance.
+type GenResult struct {
+	// NCores is the resolved thread/core count.
+	NCores int
+	// Programs holds one program per core, all racing on Shared.
+	Programs []*isa.Program
+	// Shared is the contended region the threads read and write.
+	Shared mem.Region
+}
+
+// genRand is a splitmix64 sequential PRNG: tiny, seedable, and good
+// enough for workload generation without importing math/rand.
+type genRand struct{ state uint64 }
+
+func (r *genRand) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (r *genRand) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Generator registers: the address, the store value, the branch scratch
+// and a rotating window of load destinations.
+const (
+	gAddr = isa.Reg(1)
+	gVal  = isa.Reg(2)
+	gOut0 = isa.Reg(10) // gOut0..gOut0+3 rotate as load destinations
+)
+
+// Generate builds a random racy litmus instance: NCores small programs
+// mixing loads, stores, atomics, strong and weak fences and forward
+// branches over one shared region. Every generated program assembles
+// (MustBuild cannot fail: labels are emitted forward-only and uniquely)
+// and halts under every design — control flow contains no backward
+// branches, so each thread executes at most its instruction count.
+// FuzzLitmusGen asserts both properties.
+func Generate(al *mem.Allocator, cfg GenConfig) GenResult {
+	r := &genRand{state: cfg.Seed}
+	// Burn one draw so Seed=0 does not generate from state 0 throughout.
+	r.next()
+	ncores := cfg.NCores
+	if ncores == 0 {
+		ncores = []int{2, 4, 8}[r.intn(3)]
+	}
+	ops := cfg.OpsPerCore
+	if ops == 0 {
+		ops = 24
+	}
+	lines := cfg.SharedLines
+	if lines == 0 {
+		lines = 4
+	}
+	base := al.AllocLines("gen.shared", lines)
+	words := lines * mem.WordsPerLine
+
+	progs := make([]*isa.Program, ncores)
+	for t := 0; t < ncores; t++ {
+		b := isa.NewBuilder(fmt.Sprintf("gen.t%d", t))
+		b.Li(gVal, int32(r.intn(64)+1))
+		// Open branch targets: labels referenced but not yet defined.
+		// Each is resolved after a random number of further ops; any
+		// still open at the end resolve just before the halt.
+		var open []string
+		n := r.intn(ops) + 1
+		for i := 0; i < n; i++ {
+			// Resolve at most one pending forward branch per op.
+			if len(open) > 0 && r.intn(3) == 0 {
+				b.Label(open[0])
+				open = open[1:]
+			}
+			addr := base + mem.Addr(r.intn(words))*mem.WordSize
+			dst := gOut0 + isa.Reg(r.intn(4))
+			switch p := r.intn(100); {
+			case p < 30: // store
+				b.Li(gAddr, int32(addr))
+				b.St(gVal, gAddr, 0)
+				b.AddI(gVal, gVal, int32(r.intn(8)+1))
+			case p < 58: // load
+				b.Li(gAddr, int32(addr))
+				b.Ld(dst, gAddr, 0)
+			case p < 66: // atomic exchange
+				b.Li(gAddr, int32(addr))
+				b.Xchg(dst, gVal, gAddr, 0)
+				b.AddI(gVal, gVal, 1)
+			case p < 78: // weak fence
+				b.WFence()
+			case p < 84: // strong fence
+				b.SFence()
+			case p < 92: // modeled compute
+				b.Work(int32(r.intn(40) + 1))
+			default: // forward branch over upcoming ops
+				lbl := b.NewLabel("fz")
+				if r.intn(2) == 0 {
+					b.Beq(dst, isa.R0, lbl)
+				} else {
+					b.Bne(dst, isa.R0, lbl)
+				}
+				open = append(open, lbl)
+			}
+		}
+		for _, lbl := range open {
+			b.Label(lbl)
+		}
+		b.Halt()
+		progs[t] = b.MustBuild()
+	}
+	return GenResult{
+		NCores:   ncores,
+		Programs: progs,
+		Shared:   mem.Region{Base: base, Size: mem.Addr(lines) * mem.LineSize},
+	}
+}

@@ -1,0 +1,95 @@
+package litmus_test
+
+import (
+	"testing"
+
+	"asymfence/internal/check"
+	"asymfence/internal/fence"
+	"asymfence/internal/isa"
+	"asymfence/internal/mem"
+	"asymfence/internal/sim"
+	"asymfence/internal/workloads/litmus"
+)
+
+// genHaltsCleanly runs one generated instance under S+ (faults off) with
+// the full oracle and reports any failure.
+func genHaltsCleanly(t *testing.T, seed uint64) {
+	t.Helper()
+	al := mem.NewAllocator(0x1000)
+	g := litmus.Generate(al, litmus.GenConfig{Seed: seed})
+	m, err := sim.New(sim.Config{
+		NCores:  g.NCores,
+		Design:  fence.SPlus,
+		Checker: check.New(check.All()),
+	}, g.Programs, mem.NewStore())
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("seed %d did not halt cleanly: %v", seed, err)
+	}
+}
+
+// TestGenerateSmoke is the generator's 25-seed smoke: every instance
+// assembles, halts under S+ with faults off, and passes the oracle.
+func TestGenerateSmoke(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		genHaltsCleanly(t, seed)
+	}
+}
+
+// TestGenerateDeterministic verifies a fixed seed reproduces the exact
+// same instance, and nearby seeds differ.
+func TestGenerateDeterministic(t *testing.T) {
+	gen := func(seed uint64) litmus.GenResult {
+		return litmus.Generate(mem.NewAllocator(0x1000), litmus.GenConfig{Seed: seed})
+	}
+	a, b := gen(42), gen(42)
+	if a.NCores != b.NCores || len(a.Programs) != len(b.Programs) {
+		t.Fatalf("shape diverges: %d/%d cores, %d/%d programs",
+			a.NCores, b.NCores, len(a.Programs), len(b.Programs))
+	}
+	for i := range a.Programs {
+		if a.Programs[i].String() != b.Programs[i].String() {
+			t.Fatalf("program %d diverges for the same seed:\n%s\nvs\n%s",
+				i, a.Programs[i], b.Programs[i])
+		}
+	}
+	c := gen(43)
+	if len(a.Programs) == len(c.Programs) && a.Programs[0].String() == c.Programs[0].String() {
+		t.Fatal("seeds 42 and 43 generated the same first program")
+	}
+}
+
+// TestGenerateShape pins the structural guarantees the fuzz harness
+// relies on: power-of-two core counts, an explicit Cores override, and
+// every program ending in halt with no backward branches.
+func TestGenerateShape(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		g := litmus.Generate(mem.NewAllocator(0x1000), litmus.GenConfig{Seed: seed})
+		if g.NCores != 2 && g.NCores != 4 && g.NCores != 8 {
+			t.Fatalf("seed %d: %d cores, want 2, 4 or 8", seed, g.NCores)
+		}
+		if len(g.Programs) != g.NCores {
+			t.Fatalf("seed %d: %d programs for %d cores", seed, len(g.Programs), g.NCores)
+		}
+		for ti, p := range g.Programs {
+			if p.Instrs[len(p.Instrs)-1].Op != isa.Halt {
+				t.Fatalf("seed %d thread %d does not end in halt", seed, ti)
+			}
+			for pc, in := range p.Instrs {
+				switch in.Op {
+				case isa.Beq, isa.Bne, isa.Blt, isa.Bge, isa.Jmp:
+					if in.Target <= pc {
+						t.Fatalf("seed %d thread %d: backward branch at %d -> %d",
+							seed, ti, pc, in.Target)
+					}
+				}
+			}
+		}
+	}
+	g := litmus.Generate(mem.NewAllocator(0x1000), litmus.GenConfig{Seed: 7, NCores: 2})
+	if g.NCores != 2 {
+		t.Fatalf("explicit NCores ignored: got %d", g.NCores)
+	}
+}
