@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: check fmt vet doccheck build test race race-runner smoke bench \
-	bench-snapshot bench-baseline check-invariants fuzz-smoke
+	bench-snapshot bench-baseline bench-metrics check-invariants fuzz-smoke
 
 check: fmt vet doccheck build test race-runner check-invariants fuzz-smoke smoke
 
@@ -79,3 +79,11 @@ bench-snapshot:
 bench-baseline:
 	$(GO) run ./cmd/asymsim benchkernel -out BENCH_PR4.json \
 		$(if $(BEFORE),-before $(BEFORE))
+
+# Checked-in metrics-overhead baseline (BENCH_PR6.json): the cycle
+# kernel with metrics collection off (before) vs on (after), measured
+# back to back in one process and best-of-3 per row, so the "metrics
+# are within noise" claim of OBSERVABILITY.md stays measured.
+bench-metrics:
+	$(GO) run ./cmd/asymsim benchkernel -skip-all -repeat 3 \
+		-compare-metrics -out BENCH_PR6.json

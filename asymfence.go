@@ -115,6 +115,10 @@ type Config struct {
 	BSBloom bool
 	// WPlusTimeout overrides the W+ deadlock-suspicion timeout.
 	WPlusTimeout int64
+	// Metrics, when non-nil, receives the run's machine counters
+	// (write-buffer occupancy, fence mix, NoC traffic, ...) under the
+	// "machine" scope. Nil disables collection at zero cost.
+	Metrics *MetricsRegistry
 }
 
 // Machine is a simulated multicore.
@@ -149,6 +153,7 @@ func NewMachine(cfg Config, programs []*Program, store *Store) (*Machine, error)
 		MaxCycles:   cfg.MaxCycles,
 		Privacy:     cfg.Privacy,
 		WarmRegions: cfg.WarmRegions,
+		Metrics:     cfg.Metrics,
 	}
 	m, err := sim.New(sc, programs, store)
 	if err != nil {

@@ -34,6 +34,9 @@ type BatchOptions struct {
 	// Stats, when non-nil, is filled with the batch's job accounting on
 	// return.
 	Stats *RunStats
+	// Metrics, when non-nil, receives the batch's machine and engine
+	// counters (see MetricsRegistry).
+	Metrics *MetricsRegistry
 }
 
 // RunBatch executes a flat batch of simulation jobs on a bounded worker
@@ -42,7 +45,9 @@ type BatchOptions struct {
 // scheduling — so callers merge deterministically. Cancel ctx to abort;
 // the error then wraps context.Canceled.
 func RunBatch(ctx context.Context, jobs []SimJob, opts BatchOptions) ([]*WorkloadMeasurement, error) {
-	eng := experiments.NewEngine(experiments.EngineOptions{Workers: opts.Jobs, Progress: opts.Progress})
+	eng := experiments.NewEngine(experiments.EngineOptions{
+		Workers: opts.Jobs, Progress: opts.Progress, Metrics: opts.Metrics,
+	})
 	specs := make([]runner.Spec, len(jobs))
 	for i, j := range jobs {
 		specs[i] = runner.Spec{

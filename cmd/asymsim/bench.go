@@ -47,6 +47,7 @@ func benchCmd(ctx context.Context, args []string) int {
 	jobs := fs.Int("j", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 	seq := fs.Bool("seq", false, "run simulations sequentially (same as -j 1)")
 	out := fs.String("out", "", "output file (default BENCH_<date>.json)")
+	metricsOut := fs.String("metrics", "", "write the sweep's metrics snapshot to this file as JSON (\"-\" = stdout)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: asymsim bench [flags]\n\nflags:\n")
 		fs.PrintDefaults()
@@ -70,11 +71,16 @@ func benchCmd(ctx context.Context, args []string) int {
 		}
 	}
 	var stats asymfence.RunStats
+	reg := newCLIMetrics(*metricsOut)
 	start := time.Now()
 	ms, err := asymfence.RunBatch(ctx, sims, asymfence.BatchOptions{
-		Jobs: workers, Progress: os.Stderr, Stats: &stats,
+		Jobs: workers, Progress: os.Stderr, Stats: &stats, Metrics: reg,
 	})
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "asymsim bench:", err)
+		return 1
+	}
+	if err := writeMetrics(reg, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "asymsim bench:", err)
 		return 1
 	}

@@ -12,6 +12,9 @@ import (
 	"time"
 
 	"asymfence"
+	"asymfence/internal/experiments"
+	"asymfence/internal/metrics"
+	"asymfence/internal/workloads/stm"
 )
 
 // kernelRow is one (design, cores) perf data point of the cycle kernel:
@@ -73,6 +76,10 @@ func benchKernelCmd(ctx context.Context, args []string) int {
 	before := fs.String("before", "", "prior snapshot to compare against (its 'after' or bare snapshot)")
 	horizon := fs.Int64("horizon", 120_000, "kernel-row run length in cycles")
 	skipAll := fs.Bool("skip-all", false, "skip the sequential full-suite wall-clock measurement")
+	metricsOn := fs.Bool("metrics-on", false, "attach a metrics registry to every kernel row (measures collection overhead)")
+	metricsOut := fs.String("metrics", "", "write the kernel rows' metrics snapshot to this file as JSON (\"-\" = stdout; implies -metrics-on)")
+	repeat := fs.Int("repeat", 1, "measure each kernel row N times and keep the fastest (tames scheduler noise)")
+	compare := fs.Bool("compare-metrics", false, "measure every row metrics-off and metrics-on back to back and write the off snapshot as 'before' (overrides -before)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: asymsim benchkernel [flags]\n\nflags:\n")
 		fs.PrintDefaults()
@@ -84,15 +91,51 @@ func benchKernelCmd(ctx context.Context, args []string) int {
 		Go:   runtime.Version(),
 	}
 
+	reg := newCLIMetrics(*metricsOut)
+	if reg == nil && (*metricsOn || *compare) {
+		reg = metrics.NewRegistry()
+	}
+	// offSnap collects the metrics-off rows of a -compare-metrics run;
+	// interleaving off and on per repetition inside one process keeps
+	// the two modes exposed to the same machine state, which cross-run
+	// comparisons via -before cannot guarantee.
+	var offSnap *kernelSnapshot
+	if *compare {
+		offSnap = &kernelSnapshot{Date: snap.Date, Go: snap.Go}
+	}
 	for _, cores := range []int{8, 64} {
 		for _, d := range asymfence.AllDesigns {
-			row, err := kernelPoint(d, cores, *horizon)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "asymsim benchkernel:", err)
-				return 1
+			var row, offRow kernelRow
+			for i := 0; i < max(*repeat, 1); i++ {
+				if *compare {
+					off, err := kernelPoint(d, cores, *horizon, nil)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "asymsim benchkernel:", err)
+						return 1
+					}
+					if i == 0 || off.Seconds < offRow.Seconds {
+						offRow = off
+					}
+				}
+				again, err := kernelPoint(d, cores, *horizon, reg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "asymsim benchkernel:", err)
+					return 1
+				}
+				if i == 0 || again.Seconds < row.Seconds {
+					row = again
+				}
 			}
-			fmt.Fprintf(os.Stderr, "asymsim benchkernel: %-4s %2d cores: %.2fs, %.0f cycles/s, %.1f allocs/kcycle\n",
-				row.Design, row.Cores, row.Seconds, row.CyclesPerSec, row.AllocsPerKCycles)
+			if *compare {
+				offSnap.Kernel = append(offSnap.Kernel, offRow)
+				fmt.Fprintf(os.Stderr, "asymsim benchkernel: %-4s %2d cores: off %.1f on %.1f ns/cycle (%+.1f%%), allocs/kcycle %.1f -> %.1f\n",
+					row.Design, row.Cores, offRow.NsPerCycle, row.NsPerCycle,
+					(row.NsPerCycle-offRow.NsPerCycle)/offRow.NsPerCycle*100,
+					offRow.AllocsPerKCycles, row.AllocsPerKCycles)
+			} else {
+				fmt.Fprintf(os.Stderr, "asymsim benchkernel: %-4s %2d cores: %.2fs, %.0f cycles/s, %.1f allocs/kcycle\n",
+					row.Design, row.Cores, row.Seconds, row.CyclesPerSec, row.AllocsPerKCycles)
+			}
 			snap.Kernel = append(snap.Kernel, row)
 		}
 	}
@@ -107,13 +150,21 @@ func benchKernelCmd(ctx context.Context, args []string) int {
 		fmt.Fprintf(os.Stderr, "asymsim benchkernel: sequential all: %.1fs\n", sec)
 	}
 
+	if err := writeMetrics(reg, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "asymsim benchkernel:", err)
+		return 1
+	}
+
 	file := &benchBaselineFile{
 		Schema:         "asymfence-bench-kernel/v1",
 		Command:        "asymsim benchkernel",
 		KernelWorkload: fmt.Sprintf("ustm:List, fixed %d-cycle horizon, per design at 8 and 64 cores", *horizon),
 		After:          snap,
 	}
-	if *before != "" {
+	if *compare {
+		file.Before = offSnap
+		file.SpeedupKernelGeomean = round3(kernelGeomean(offSnap.Kernel, snap.Kernel))
+	} else if *before != "" {
 		prior, err := loadSnapshot(*before)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "asymsim benchkernel:", err)
@@ -144,13 +195,20 @@ func benchKernelCmd(ctx context.Context, args []string) int {
 	return 0
 }
 
-// kernelPoint measures one (design, cores) kernel row.
-func kernelPoint(d asymfence.Design, cores int, horizon int64) (kernelRow, error) {
+// kernelPoint measures one (design, cores) kernel row. With a non-nil
+// registry the run carries live metrics collection, so before/after
+// snapshots of the two modes bound the collection overhead on an
+// otherwise identical simulation.
+func kernelPoint(d asymfence.Design, cores int, horizon int64, reg *metrics.Registry) (kernelRow, error) {
+	p, ok := stm.USTMByName("List")
+	if !ok {
+		return kernelRow{}, fmt.Errorf("ustm benchmark %q not registered", "List")
+	}
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	if _, err := asymfence.RunUSTMBenchmark("List", d, cores, horizon); err != nil {
+	if _, err := experiments.RunUSTMObserved(p, d, cores, horizon, reg); err != nil {
 		return kernelRow{}, fmt.Errorf("%v at %d cores: %w", d, cores, err)
 	}
 	sec := time.Since(start).Seconds()

@@ -26,6 +26,7 @@ func fuzzCmd(ctx context.Context, args []string) int {
 	noFaults := fs.Bool("no-faults", false, "disable deterministic fault injection")
 	events := fs.Int("events", 64, "trace events kept for a violation reproducer")
 	quiet := fs.Bool("q", false, "suppress per-seed progress lines on stderr")
+	metricsOut := fs.String("metrics", "", "write the campaign's metrics snapshot to this file as JSON (\"-\" = stdout)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: asymsim fuzz [flags]\n\nflags:\n")
 		fs.PrintDefaults()
@@ -38,6 +39,7 @@ func fuzzCmd(ctx context.Context, args []string) int {
 		}
 	}
 
+	reg := newCLIMetrics(*metricsOut)
 	opts := asymfence.FuzzOptions{
 		Seeds:       *seeds,
 		StartSeed:   *start,
@@ -45,6 +47,7 @@ func fuzzCmd(ctx context.Context, args []string) int {
 		OpsPerCore:  *ops,
 		NoFaults:    *noFaults,
 		TraceEvents: *events,
+		Metrics:     reg,
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr
@@ -56,6 +59,10 @@ func fuzzCmd(ctx context.Context, args []string) int {
 		if errors.Is(err, context.Canceled) {
 			return 130
 		}
+		return 1
+	}
+	if err := writeMetrics(reg, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "asymsim fuzz:", err)
 		return 1
 	}
 	if rep.Violation != nil {

@@ -5,9 +5,11 @@
 //
 //	asymsim [flags] <experiment>           regenerate a paper artifact
 //	asymsim -list                          list experiment ids
+//	asymsim -version                       print build provenance
 //	asymsim [flags] run <group>:<app>      one workload under every design
 //	asymsim trace <group>:<app> [flags]    traced run (Perfetto/JSONL export)
 //	asymsim bench [flags]                  machine-readable perf snapshot
+//	asymsim serve [flags] [experiment]     run with a live observability server
 //	asymsim fuzz [flags]                   litmus-fuzz under invariant checkers
 //
 // where <experiment> is one of fig8, fig9, fig10, fig11, fig12, table4,
@@ -41,6 +43,17 @@
 // fixed quick scale and writes cycles/throughput per (workload, design)
 // to BENCH_<date>.json, giving later changes a perf trajectory to
 // compare against.
+//
+// Every subcommand accepts -metrics out.json: the run's machine and
+// harness counters are collected into a metrics registry and written as
+// a deterministic JSON snapshot on exit ("-" writes to stdout; see
+// OBSERVABILITY.md for the schema). The serve subcommand additionally
+// exposes the registry live over HTTP — /metrics in JSON or Prometheus
+// text format, /debug/pprof for the Go profiler, /progress for the
+// running batch — while an experiment executes:
+//
+//	asymsim serve -listen :6060 all
+//	curl localhost:6060/metrics?format=json
 package main
 
 import (
@@ -55,6 +68,7 @@ import (
 	"time"
 
 	"asymfence"
+	"asymfence/internal/buildinfo"
 	"asymfence/internal/sim"
 )
 
@@ -72,6 +86,8 @@ func main() {
 			os.Exit(benchKernelCmd(ctx, os.Args[2:]))
 		case "fuzz":
 			os.Exit(fuzzCmd(ctx, os.Args[2:]))
+		case "serve":
+			os.Exit(serveCmd(ctx, os.Args[2:]))
 		}
 	}
 
@@ -83,6 +99,8 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress per-job progress lines on stderr")
 	md := flag.Bool("md", false, "emit markdown tables")
 	list := flag.Bool("list", false, "list experiment ids with descriptions and exit")
+	metricsOut := flag.String("metrics", "", "write the run's metrics snapshot to this file as JSON (\"-\" = stdout)")
+	version := flag.Bool("version", false, "print build provenance and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: asymsim [flags] <experiment>\n"+
 			"       asymsim [flags] run <group>:<app>     (e.g. run cilk:fib, run ustm:List)\n"+
@@ -94,6 +112,10 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *version {
+		fmt.Println("asymsim", buildinfo.Get())
+		return
+	}
 	// Reject a nonsensical machine shape before any experiment starts
 	// (same typed validation the simulator applies on Run).
 	if err := (sim.Config{NCores: *cores}).Validate(); err != nil {
@@ -110,7 +132,12 @@ func main() {
 	if *seq {
 		workers = 1
 	}
-	if maybeRun(ctx, flag.Args(), *cores, *scale, *horizon, workers, *quiet) {
+	reg := newCLIMetrics(*metricsOut)
+	if maybeRun(ctx, flag.Args(), *cores, *scale, *horizon, workers, *quiet, reg) {
+		if err := writeMetrics(reg, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "asymsim:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if flag.NArg() != 1 {
@@ -134,7 +161,7 @@ func main() {
 	start := time.Now()
 	tables, err := exp.Run(ctx, asymfence.Options{
 		Cores: *cores, Scale: *scale, Horizon: *horizon,
-		Jobs: workers, Progress: progress, Stats: &stats,
+		Jobs: workers, Progress: progress, Stats: &stats, Metrics: reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "asymsim:", err)
@@ -149,6 +176,10 @@ func main() {
 		} else {
 			fmt.Println(t.String())
 		}
+	}
+	if err := writeMetrics(reg, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "asymsim:", err)
+		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "asymsim: %s: %d jobs (%d simulated, %d cache hits) in %s\n",
 		id, stats.Jobs, stats.Simulated, stats.CacheHits, time.Since(start).Round(time.Millisecond))

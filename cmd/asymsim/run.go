@@ -14,7 +14,7 @@ import (
 // sweep with the cycle breakdown and the fence-site stall profile. The
 // per-design simulations execute as one parallel batch; the printout
 // order is fixed by the batch's submission order.
-func runOne(ctx context.Context, spec string, cores int, scale float64, horizon int64, workers int, quiet bool) error {
+func runOne(ctx context.Context, spec string, cores int, scale float64, horizon int64, workers int, quiet bool, reg *asymfence.MetricsRegistry) error {
 	group, app, ok := strings.Cut(spec, ":")
 	if !ok {
 		return fmt.Errorf("workload spec must be <group>:<app>, e.g. cilk:fib (groups: cilk, ustm, stamp)")
@@ -34,7 +34,9 @@ func runOne(ctx context.Context, spec string, cores int, scale float64, horizon 
 	if !quiet {
 		progress = os.Stderr
 	}
-	ms, err := asymfence.RunBatch(ctx, jobs, asymfence.BatchOptions{Jobs: workers, Progress: progress})
+	ms, err := asymfence.RunBatch(ctx, jobs, asymfence.BatchOptions{
+		Jobs: workers, Progress: progress, Metrics: reg,
+	})
 	if err != nil {
 		return err
 	}
@@ -57,11 +59,11 @@ func runOne(ctx context.Context, spec string, cores int, scale float64, horizon 
 	return nil
 }
 
-func maybeRun(ctx context.Context, args []string, cores int, scale float64, horizon int64, workers int, quiet bool) bool {
+func maybeRun(ctx context.Context, args []string, cores int, scale float64, horizon int64, workers int, quiet bool, reg *asymfence.MetricsRegistry) bool {
 	if len(args) != 2 || args[0] != "run" {
 		return false
 	}
-	if err := runOne(ctx, args[1], cores, scale, horizon, workers, quiet); err != nil {
+	if err := runOne(ctx, args[1], cores, scale, horizon, workers, quiet, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "asymsim:", err)
 		os.Exit(1)
 	}

@@ -25,6 +25,7 @@ func traceCmd(ctx context.Context, args []string) int {
 	cores := fs.Int("cores", 8, "core count (power of two)")
 	scale := fs.Float64("scale", 0.25, "execution-time run scale")
 	horizon := fs.Int64("horizon", 0, "throughput-run length in cycles (0 = default)")
+	metricsOut := fs.String("metrics", "", "write the run's metrics snapshot to this file as JSON (\"-\" = stdout)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: asymsim trace <group>:<app> [flags]\n"+
 			"       e.g. asymsim trace cilk:fib -trace-out fib.json\n\nflags:\n")
@@ -64,9 +65,11 @@ func traceCmd(ctx context.Context, args []string) int {
 		return 2
 	}
 
+	reg := newCLIMetrics(*metricsOut)
 	res, err := asymfence.TraceWorkload(ctx, group, app, d, asymfence.TraceOptions{
 		Cores: *cores, Scale: *scale, Horizon: *horizon,
 		Mask: mask, MaxEvents: *maxEvents, SampleInterval: *interval,
+		Metrics: reg,
 	})
 	if err != nil {
 		// A DeadlockError's message already carries the full per-core
@@ -95,6 +98,10 @@ func traceCmd(ctx context.Context, args []string) int {
 		err = bw.Flush()
 	}
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "asymsim trace:", err)
+		return 1
+	}
+	if err := writeMetrics(reg, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "asymsim trace:", err)
 		return 1
 	}

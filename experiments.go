@@ -37,6 +37,11 @@ type Options struct {
 	// Stats, when non-nil, is filled with the run's job accounting on
 	// return (including on error).
 	Stats *RunStats
+	// Metrics, when non-nil, receives the run's machine and engine
+	// counters (see MetricsRegistry). Sharing one registry across
+	// concurrent jobs is safe; the deterministic sections of its
+	// snapshots are identical at any Jobs setting.
+	Metrics *MetricsRegistry
 }
 
 // ExperimentOptions is the old name of Options.
@@ -105,7 +110,9 @@ func (e Experiment) Run(ctx context.Context, opts Options) ([]*ExperimentTable, 
 		return nil, fmt.Errorf("asymfence: zero Experiment value (obtain entries from Experiments or LookupExperiment)")
 	}
 	o := opts.withDefaults()
-	eng := experiments.NewEngine(experiments.EngineOptions{Workers: o.Jobs, Progress: o.Progress})
+	eng := experiments.NewEngine(experiments.EngineOptions{
+		Workers: o.Jobs, Progress: o.Progress, Metrics: o.Metrics,
+	})
 	tables, err := e.run(ctx, eng, o)
 	if opts.Stats != nil {
 		st := eng.Stats()

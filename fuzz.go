@@ -39,6 +39,9 @@ type FuzzOptions struct {
 	Designs []fence.Design
 	// Progress, when non-nil, receives one line per completed seed.
 	Progress io.Writer
+	// Metrics, when non-nil, receives every fuzz run's machine counters
+	// (see MetricsRegistry).
+	Metrics *MetricsRegistry
 }
 
 // FuzzReport summarizes a RunFuzz campaign. With a fixed FuzzOptions the
@@ -135,6 +138,7 @@ func fuzzRun(ctx context.Context, seed uint64, d fence.Design, g litmus.GenResul
 		Checker: check.New(check.All()),
 		Faults:  inj,
 		Trace:   tr,
+		Metrics: opts.Metrics,
 	}, progs, store)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,71 @@
+// Package buildinfo resolves the binary's version and VCS revision from
+// the Go build info embedded by the toolchain, so every observability
+// surface (metrics snapshots, trace file headers, `asymsim -version`)
+// reports the same provenance without a link-time -ldflags dance.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// Info is the provenance a build reports about itself.
+type Info struct {
+	// Version is the module version ("v1.2.3", "(devel)", or "unknown"
+	// when no build info is embedded, as under some test binaries).
+	Version string
+	// Revision is the VCS commit hash if the binary was built inside a
+	// checkout ("" otherwise), suffixed with "+dirty" when the working
+	// tree had local modifications.
+	Revision string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+}
+
+// read is swapped out by tests.
+var read = debug.ReadBuildInfo
+
+// Get resolves the running binary's build provenance. It never fails:
+// missing build info yields Version "unknown".
+func Get() Info {
+	info := Info{Version: "unknown"}
+	bi, ok := read()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	if v := bi.Main.Version; v != "" {
+		info.Version = v
+	}
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty && info.Revision != "" {
+		info.Revision += "+dirty"
+	}
+	return info
+}
+
+// String renders the provenance as the one-liner `asymsim -version`
+// prints: "version (go1.NN, rev abcdef...)" with absent parts omitted.
+func (i Info) String() string {
+	var b strings.Builder
+	b.WriteString(i.Version)
+	var extra []string
+	if i.GoVersion != "" {
+		extra = append(extra, i.GoVersion)
+	}
+	if i.Revision != "" {
+		extra = append(extra, "rev "+i.Revision)
+	}
+	if len(extra) > 0 {
+		b.WriteString(" (" + strings.Join(extra, ", ") + ")")
+	}
+	return b.String()
+}

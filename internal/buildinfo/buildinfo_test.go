@@ -1,0 +1,45 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+func fake(bi *debug.BuildInfo, ok bool) func() {
+	old := read
+	read = func() (*debug.BuildInfo, bool) { return bi, ok }
+	return func() { read = old }
+}
+
+func TestGetWithoutBuildInfo(t *testing.T) {
+	defer fake(nil, false)()
+	got := Get()
+	if got.Version != "unknown" || got.Revision != "" {
+		t.Fatalf("Get() = %+v, want unknown/empty", got)
+	}
+	if got.String() != "unknown" {
+		t.Fatalf("String() = %q", got.String())
+	}
+}
+
+func TestGetResolvesVCSSettings(t *testing.T) {
+	defer fake(&debug.BuildInfo{
+		GoVersion: "go1.22.0",
+		Main:      debug.Module{Version: "(devel)"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "abc123"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}, true)()
+	got := Get()
+	if got.Version != "(devel)" {
+		t.Errorf("Version = %q", got.Version)
+	}
+	if got.Revision != "abc123+dirty" {
+		t.Errorf("Revision = %q", got.Revision)
+	}
+	want := "(devel) (go1.22.0, rev abc123+dirty)"
+	if got.String() != want {
+		t.Errorf("String() = %q, want %q", got.String(), want)
+	}
+}

@@ -43,6 +43,11 @@ type ViolationError struct {
 	Detail string
 	// Repro is the minimized reproducer (nil outside the fuzz harness).
 	Repro *Repro
+	// Tail is the machine's flight-recorder tail at detection time,
+	// oldest-first. The simulator fills it in even when tracing is off
+	// (the recorder is always on), so every violation report ends with
+	// the events leading up to the failure.
+	Tail []trace.Event
 }
 
 // Error renders the violation and, when present, the full reproducer.
@@ -73,6 +78,10 @@ func (e *ViolationError) Error() string {
 					ev.Cycle, ev.Kind, ev.Node, ev.Line, ev.A, ev.B, ev.C)
 			}
 		}
+	}
+	if tail := trace.FormatTail(e.Tail); tail != "" {
+		b.WriteString("\n")
+		b.WriteString(tail)
 	}
 	return b.String()
 }

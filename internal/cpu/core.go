@@ -22,6 +22,7 @@ import (
 	"asymfence/internal/fence"
 	"asymfence/internal/isa"
 	"asymfence/internal/mem"
+	"asymfence/internal/metrics"
 	"asymfence/internal/noc"
 	"asymfence/internal/stats"
 	"asymfence/internal/trace"
@@ -60,6 +61,11 @@ type Config struct {
 	// Tracer receives this core's fence-lifecycle and write-buffer
 	// events. Nil (the default) disables tracing at zero cost.
 	Tracer *trace.Tracer
+
+	// WBOcc, when non-nil, observes the write buffer's occupancy after
+	// every store enters it (the machine.wb.occupancy histogram). Nil
+	// (the default) disables the observation at zero cost.
+	WBOcc *metrics.Histogram
 
 	// Checker receives this core's retirement/commit stream for runtime
 	// invariant verification. Nil (the default) disables checking at

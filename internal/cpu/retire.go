@@ -110,6 +110,7 @@ func (c *Core) tryRetire(now int64, e *robEntry) (bool, blockReason) {
 			return false, rExec
 		}
 		c.wb = append(c.wb, wbEntry{addr: e.addr, val: e.dataVal, seq: e.seq})
+		c.cfg.WBOcc.Observe(int64(len(c.wb)))
 		if c.chk != nil {
 			c.chk.OnStoreRetire(now, c.cfg.ID, e.addr, e.dataVal, e.seq)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"asymfence/internal/experiments/runner"
 	"asymfence/internal/fence"
+	"asymfence/internal/metrics"
 	"asymfence/internal/trace"
 	"asymfence/internal/workloads/cilk"
 	"asymfence/internal/workloads/stamp"
@@ -38,6 +39,10 @@ type EngineOptions struct {
 	Workers int
 	// Progress, when non-nil, receives per-job progress narration.
 	Progress io.Writer
+	// Metrics, when non-nil, receives the engine's session counters
+	// (under the "engine" scope) and every simulation's machine
+	// counters (under "machine"). Nil disables both at zero cost.
+	Metrics *metrics.Registry
 }
 
 // Engine runs experiments by decomposing them into flat batches of
@@ -51,9 +56,13 @@ type Engine struct {
 
 // NewEngine builds an engine over the shared measurement cache.
 func NewEngine(o EngineOptions) *Engine {
-	return &Engine{sess: runner.NewSession(sharedCache, execSpec, runner.Options{
+	exec := func(ctx context.Context, s runner.Spec) (*Measurement, error) {
+		return execSpec(ctx, s, o.Metrics)
+	}
+	return &Engine{sess: runner.NewSession(sharedCache, exec, runner.Options{
 		Workers:  o.Workers,
 		Narrator: trace.NewNarrator(o.Progress),
+		Metrics:  o.Metrics.Scope("engine"),
 	})}
 }
 
@@ -84,29 +93,32 @@ func canonSpec(s runner.Spec) runner.Spec {
 	return s
 }
 
-// execSpec dispatches one simulation job to its workload group.
-func execSpec(ctx context.Context, s runner.Spec) (*Measurement, error) {
+// execSpec dispatches one simulation job to its workload group. The
+// registry (which may be nil) receives the run's machine counters;
+// sharing one registry across concurrent jobs is safe and
+// scheduling-independent because counter updates commute.
+func execSpec(ctx context.Context, s runner.Spec, reg *metrics.Registry) (*Measurement, error) {
 	switch s.Group {
 	case "cilk":
 		p, ok := cilk.AppByName(s.App)
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown CilkApps application %q", s.App)
 		}
-		m, _, err := runCilk(ctx, p, s.Design, s.Cores, Scale(s.Scale), nil, 0)
+		m, _, err := runCilk(ctx, p, s.Design, s.Cores, Scale(s.Scale), runObs{metrics: reg})
 		return m, err
 	case "ustm":
 		p, ok := stm.USTMByName(s.App)
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown ustm benchmark %q", s.App)
 		}
-		m, _, err := runUSTM(ctx, p, s.Design, s.Cores, s.Horizon, nil, 0)
+		m, _, err := runUSTM(ctx, p, s.Design, s.Cores, s.Horizon, runObs{metrics: reg})
 		return m, err
 	case "stamp":
 		p, ok := stamp.ByName(s.App)
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown STAMP application %q", s.App)
 		}
-		m, _, err := runSTAMP(ctx, p, s.Design, s.Cores, Scale(s.Scale), nil, 0)
+		m, _, err := runSTAMP(ctx, p, s.Design, s.Cores, Scale(s.Scale), runObs{metrics: reg})
 		return m, err
 	}
 	return nil, fmt.Errorf("experiments: unknown workload group %q (valid: cilk, ustm, stamp)", s.Group)

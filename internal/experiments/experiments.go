@@ -12,6 +12,7 @@ import (
 	"asymfence/internal/coherence"
 	"asymfence/internal/fence"
 	"asymfence/internal/mem"
+	"asymfence/internal/metrics"
 	"asymfence/internal/noc"
 	"asymfence/internal/sim"
 	"asymfence/internal/stats"
@@ -97,13 +98,22 @@ func (s Scale) apply(n int) int {
 
 const defaultSeed = 20150314 // the paper's conference date
 
+// runObs bundles the optional observability attachments of one
+// simulation run: the event tracer, the interval-sampler period, and
+// the metrics registry. The zero value disables all three at zero cost.
+type runObs struct {
+	tr       *trace.Tracer
+	interval int64
+	metrics  *metrics.Registry
+}
+
 // RunCilk executes one CilkApps application to completion.
 func RunCilk(p cilk.Profile, d fence.Design, ncores int, scale Scale) (*Measurement, error) {
-	meas, _, err := runCilk(context.Background(), p, d, ncores, scale, nil, 0)
+	meas, _, err := runCilk(context.Background(), p, d, ncores, scale, runObs{})
 	return meas, err
 }
 
-func runCilk(ctx context.Context, p cilk.Profile, d fence.Design, ncores int, scale Scale, tr *trace.Tracer, interval int64) (*Measurement, *sim.Result, error) {
+func runCilk(ctx context.Context, p cilk.Profile, d fence.Design, ncores int, scale Scale, obs runObs) (*Measurement, *sim.Result, error) {
 	p.TasksPerWorker = scale.apply(p.TasksPerWorker)
 	al := mem.NewAllocator(0x1000)
 	store := mem.NewStore()
@@ -112,7 +122,7 @@ func runCilk(ctx context.Context, p cilk.Profile, d fence.Design, ncores int, sc
 	m, err := sim.New(sim.Config{
 		NCores: ncores, Design: d, Privacy: privacy,
 		WarmRegions: wl.WarmRegions, MaxCycles: 200_000_000,
-		Trace: tr, SampleInterval: interval,
+		Trace: obs.tr, SampleInterval: obs.interval, Metrics: obs.metrics,
 	}, wl.Progs, store)
 	if err != nil {
 		return nil, nil, err
@@ -129,11 +139,20 @@ func runCilk(ctx context.Context, p cilk.Profile, d fence.Design, ncores int, sc
 // each microbenchmark for a certain fixed time and measure the number of
 // transactions committed").
 func RunUSTM(p stm.Profile, d fence.Design, ncores int, horizon int64) (*Measurement, error) {
-	meas, _, err := runUSTM(context.Background(), p, d, ncores, horizon, nil, 0)
+	meas, _, err := runUSTM(context.Background(), p, d, ncores, horizon, runObs{})
 	return meas, err
 }
 
-func runUSTM(ctx context.Context, p stm.Profile, d fence.Design, ncores int, horizon int64, tr *trace.Tracer, interval int64) (*Measurement, *sim.Result, error) {
+// RunUSTMObserved is RunUSTM with an optional metrics registry attached
+// to the run (nil behaves exactly like RunUSTM). The benchkernel CLI
+// uses it to measure the overhead of metrics collection on an otherwise
+// identical simulation.
+func RunUSTMObserved(p stm.Profile, d fence.Design, ncores int, horizon int64, reg *metrics.Registry) (*Measurement, error) {
+	meas, _, err := runUSTM(context.Background(), p, d, ncores, horizon, runObs{metrics: reg})
+	return meas, err
+}
+
+func runUSTM(ctx context.Context, p stm.Profile, d fence.Design, ncores int, horizon int64, obs runObs) (*Measurement, *sim.Result, error) {
 	p.Iterations = 0 // run forever; the horizon stops us
 	al := mem.NewAllocator(0x1000)
 	store := mem.NewStore()
@@ -142,7 +161,7 @@ func runUSTM(ctx context.Context, p stm.Profile, d fence.Design, ncores int, hor
 	m, err := sim.New(sim.Config{
 		NCores: ncores, Design: d, Privacy: privacy,
 		WarmRegions: wl.WarmRegions, MaxCycles: horizon + 1,
-		Trace: tr, SampleInterval: interval,
+		Trace: obs.tr, SampleInterval: obs.interval, Metrics: obs.metrics,
 	}, wl.Progs, store)
 	if err != nil {
 		return nil, nil, err
@@ -158,11 +177,11 @@ func runUSTM(ctx context.Context, p stm.Profile, d fence.Design, ncores int, hor
 
 // RunSTAMP executes one STAMP application to completion.
 func RunSTAMP(p stm.Profile, d fence.Design, ncores int, scale Scale) (*Measurement, error) {
-	meas, _, err := runSTAMP(context.Background(), p, d, ncores, scale, nil, 0)
+	meas, _, err := runSTAMP(context.Background(), p, d, ncores, scale, runObs{})
 	return meas, err
 }
 
-func runSTAMP(ctx context.Context, p stm.Profile, d fence.Design, ncores int, scale Scale, tr *trace.Tracer, interval int64) (*Measurement, *sim.Result, error) {
+func runSTAMP(ctx context.Context, p stm.Profile, d fence.Design, ncores int, scale Scale, obs runObs) (*Measurement, *sim.Result, error) {
 	p.Iterations = scale.apply(p.Iterations)
 	al := mem.NewAllocator(0x1000)
 	store := mem.NewStore()
@@ -171,7 +190,7 @@ func runSTAMP(ctx context.Context, p stm.Profile, d fence.Design, ncores int, sc
 	m, err := sim.New(sim.Config{
 		NCores: ncores, Design: d, Privacy: privacy,
 		WarmRegions: wl.WarmRegions, MaxCycles: 200_000_000,
-		Trace: tr, SampleInterval: interval,
+		Trace: obs.tr, SampleInterval: obs.interval, Metrics: obs.metrics,
 	}, wl.Progs, store)
 	if err != nil {
 		return nil, nil, err

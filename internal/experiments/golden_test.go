@@ -39,7 +39,7 @@ func goldenRun(t *testing.T, group, app string, d fence.Design) string {
 		if !ok {
 			t.Fatalf("unknown cilk app %q", app)
 		}
-		_, res, err := runCilk(ctx, p, d, 8, Scale(0.05), nil, 0)
+		_, res, err := runCilk(ctx, p, d, 8, Scale(0.05), runObs{})
 		if err != nil {
 			t.Fatalf("cilk %s under %v: %v", app, d, err)
 		}
@@ -49,7 +49,7 @@ func goldenRun(t *testing.T, group, app string, d fence.Design) string {
 		if !ok {
 			t.Fatalf("unknown ustm benchmark %q", app)
 		}
-		_, res, err := runUSTM(ctx, p, d, 8, 25_000, nil, 0)
+		_, res, err := runUSTM(ctx, p, d, 8, 25_000, runObs{})
 		if err != nil {
 			t.Fatalf("ustm %s under %v: %v", app, d, err)
 		}
@@ -59,7 +59,7 @@ func goldenRun(t *testing.T, group, app string, d fence.Design) string {
 		if !ok {
 			t.Fatalf("unknown stamp app %q", app)
 		}
-		_, res, err := runSTAMP(ctx, p, d, 8, Scale(0.1), nil, 0)
+		_, res, err := runSTAMP(ctx, p, d, 8, Scale(0.1), runObs{})
 		if err != nil {
 			t.Fatalf("stamp %s under %v: %v", app, d, err)
 		}

@@ -25,11 +25,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"asymfence/internal/fence"
+	"asymfence/internal/metrics"
 	"asymfence/internal/trace"
 )
 
@@ -129,6 +132,46 @@ type Options struct {
 	Workers int
 	// Narrator receives per-job progress lines (nil: silent).
 	Narrator *trace.Narrator
+	// Metrics, when non-nil, receives the session's counters (jobs,
+	// cache hits/misses) and — under its timing sub-scope — the
+	// wall-clock instruments (job latency, worker busy time,
+	// singleflight waits). Nil disables them at zero cost.
+	Metrics *metrics.Scope
+}
+
+// jobLatencyBounds bucket job wall-clock latencies from 1ms to ~100s.
+var jobLatencyBounds = []int64{
+	1e6, 1e7, 1e8, 1e9, 1e10, 1e11, // 1ms, 10ms, 100ms, 1s, 10s, 100s
+}
+
+// sessionMetrics holds a Session's metric handles. All handles are
+// nil-safe, so a zero value (metrics off) costs nothing.
+type sessionMetrics struct {
+	// jobs/hits/misses count scheduling-independent facts (what was
+	// submitted and whether the cache had it), so they live in the
+	// deterministic section.
+	jobs, hits, misses *metrics.Counter
+	// waits counts joins that actually blocked on an in-flight leader —
+	// a scheduling artifact — and the remaining instruments measure
+	// wall-clock, so they all live in the timing section.
+	waits      *metrics.Counter
+	jobLatency *metrics.Histogram
+	workerBusy *metrics.Counter
+	workers    *metrics.Gauge
+}
+
+func newSessionMetrics(s *metrics.Scope) sessionMetrics {
+	cache := s.Scope("cache")
+	timing := s.Timing()
+	return sessionMetrics{
+		jobs:       s.Counter("jobs"),
+		hits:       cache.Counter("hits"),
+		misses:     cache.Counter("misses"),
+		waits:      timing.Counter("singleflight_waits"),
+		jobLatency: timing.Histogram("job_latency_ns", jobLatencyBounds...),
+		workerBusy: timing.Counter("worker_busy_ns"),
+		workers:    timing.Gauge("workers"),
+	}
 }
 
 // Session executes job batches for one logical experiment run: it pins
@@ -139,6 +182,7 @@ type Session[V any] struct {
 	exec    func(context.Context, Spec) (V, error)
 	workers int
 	nar     *trace.Narrator
+	mx      sessionMetrics
 
 	jobs, hits, sims atomic.Int64
 }
@@ -150,7 +194,8 @@ func NewSession[V any](cache *Cache[V], exec func(context.Context, Spec) (V, err
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Session[V]{cache: cache, exec: exec, workers: w, nar: opts.Narrator}
+	return &Session[V]{cache: cache, exec: exec, workers: w, nar: opts.Narrator,
+		mx: newSessionMetrics(opts.Metrics)}
 }
 
 // Stats returns the session's cumulative accounting.
@@ -172,47 +217,72 @@ func (s *Session[V]) Run(ctx context.Context, specs []Spec) ([]V, error) {
 		return nil, nil
 	}
 	s.jobs.Add(int64(len(specs)))
+	s.mx.jobs.Add(int64(len(specs)))
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	results := make([]V, len(specs))
 	errs := make([]error, len(specs))
 	var next, completed atomic.Int64
+	batchStart := time.Now()
 	workers := s.workers
 	if workers > len(specs) {
 		workers = len(specs)
 	}
+	s.mx.workers.SetMax(int64(workers))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= len(specs) {
-					return
+		// Label the worker goroutines so CPU profiles (`asymsim serve`
+		// exposes /debug/pprof) attribute samples to the pool.
+		go pprof.Do(ctx, pprof.Labels("subsystem", "runner", "worker", strconv.Itoa(w)),
+			func(ctx context.Context) {
+				defer wg.Done()
+				workerStart := time.Now()
+				defer func() { s.mx.workerBusy.Add(time.Since(workerStart).Nanoseconds()) }()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= len(specs) {
+						return
+					}
+					if err := ctx.Err(); err != nil {
+						errs[i] = err
+						continue
+					}
+					jobStart := time.Now()
+					var (
+						v   V
+						hit bool
+						err error
+					)
+					// Per-job labels so profile samples attribute to
+					// the (workload, design, cores) being simulated,
+					// not just the pool slot.
+					pprof.Do(ctx, pprof.Labels(
+						"workload", specs[i].Group+":"+specs[i].App,
+						"design", specs[i].Design.String(),
+						"cores", strconv.Itoa(specs[i].Cores),
+					), func(ctx context.Context) {
+						v, hit, err = s.one(ctx, specs[i])
+					})
+					s.mx.jobLatency.Observe(time.Since(jobStart).Nanoseconds())
+					results[i], errs[i] = v, err
+					done := completed.Add(1)
+					eta := etaString(batchStart, int(done), len(specs))
+					switch {
+					case err != nil:
+						s.nar.Say("job %3d/%d  %-34s FAILED: %v", done, len(specs), specs[i], err)
+						// Fail fast: stop scheduling and interrupt running
+						// simulations. Error selection below still prefers
+						// this genuine failure over induced cancellations.
+						cancel()
+					case hit:
+						s.nar.Say("job %3d/%d  %-34s cache hit%s", done, len(specs), specs[i], eta)
+					default:
+						s.nar.Say("job %3d/%d  %-34s simulated%s", done, len(specs), specs[i], eta)
+					}
 				}
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-					continue
-				}
-				v, hit, err := s.one(ctx, specs[i])
-				results[i], errs[i] = v, err
-				done := completed.Add(1)
-				switch {
-				case err != nil:
-					s.nar.Say("job %3d/%d  %-34s FAILED: %v", done, len(specs), specs[i], err)
-					// Fail fast: stop scheduling and interrupt running
-					// simulations. Error selection below still prefers
-					// this genuine failure over induced cancellations.
-					cancel()
-				case hit:
-					s.nar.Say("job %3d/%d  %-34s cache hit", done, len(specs), specs[i])
-				default:
-					s.nar.Say("job %3d/%d  %-34s simulated", done, len(specs), specs[i])
-				}
-			}
-		}()
+			})
 	}
 	wg.Wait()
 
@@ -254,6 +324,7 @@ func (s *Session[V]) one(ctx context.Context, sp Spec) (v V, hit bool, err error
 
 			e.val, e.err = s.exec(ctx, sp)
 			s.sims.Add(1)
+			s.mx.misses.Inc()
 			if e.err != nil && isCancel(e.err) {
 				// A canceled run is not a result: forget the slot so a
 				// later, uncanceled caller re-executes.
@@ -268,6 +339,15 @@ func (s *Session[V]) one(ctx context.Context, sp Spec) (v V, hit bool, err error
 		}
 		s.cache.mu.Unlock()
 
+		// Distinguish completed-entry hits from joins that will block on
+		// an in-flight leader: blocking is a scheduling artifact, so it
+		// is counted separately under the timing scope.
+		select {
+		case <-e.done:
+		default:
+			s.mx.waits.Inc()
+		}
+
 		select {
 		case <-e.done:
 			if e.err != nil && isCancel(e.err) {
@@ -280,6 +360,7 @@ func (s *Session[V]) one(ctx context.Context, sp Spec) (v V, hit bool, err error
 				continue
 			}
 			s.hits.Add(1)
+			s.mx.hits.Inc()
 			return e.val, true, e.err
 		case <-ctx.Done():
 			var zero V
@@ -290,4 +371,24 @@ func (s *Session[V]) one(ctx context.Context, sp Spec) (v V, hit bool, err error
 
 func isCancel(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// etaString estimates the batch's remaining wall-clock from the average
+// pace so far (" eta 12s", "" once everything is done or too early to
+// tell). The estimate is progress narration only — it never lands in
+// results or metrics snapshots' deterministic section.
+func etaString(start time.Time, done, total int) string {
+	if done <= 0 || done >= total {
+		return ""
+	}
+	elapsed := time.Since(start)
+	if elapsed < 10*time.Millisecond {
+		return ""
+	}
+	left := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+	round := time.Second
+	if left < 10*time.Second {
+		round = 100 * time.Millisecond
+	}
+	return "  eta " + left.Round(round).String()
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"asymfence/internal/fence"
+	"asymfence/internal/metrics"
 	"asymfence/internal/sim"
 	"asymfence/internal/trace"
 	"asymfence/internal/workloads/cilk"
@@ -56,6 +57,8 @@ type TraceOptions struct {
 	// SampleInterval is the interval-metrics period in cycles
 	// (default 1000; negative disables sampling).
 	SampleInterval int64
+	// Metrics, when non-nil, receives the run's machine counters.
+	Metrics *metrics.Registry
 }
 
 func (o *TraceOptions) defaults() {
@@ -98,19 +101,19 @@ func RunTraced(ctx context.Context, group, app string, d fence.Design, opts Trac
 		case "cilk":
 			for _, p := range cilk.Apps {
 				if p.Name == app {
-					return runCilk(ctx, p, d, opts.NCores, opts.Scale, tr, opts.SampleInterval)
+					return runCilk(ctx, p, d, opts.NCores, opts.Scale, runObs{tr: tr, interval: opts.SampleInterval, metrics: opts.Metrics})
 				}
 			}
 		case "ustm":
 			for _, p := range stm.USTM {
 				if p.Name == app {
-					return runUSTM(ctx, p, d, opts.NCores, opts.Horizon, tr, opts.SampleInterval)
+					return runUSTM(ctx, p, d, opts.NCores, opts.Horizon, runObs{tr: tr, interval: opts.SampleInterval, metrics: opts.Metrics})
 				}
 			}
 		case "stamp":
 			for _, p := range stamp.Apps {
 				if p.Name == app {
-					return runSTAMP(ctx, p, d, opts.NCores, opts.Scale, tr, opts.SampleInterval)
+					return runSTAMP(ctx, p, d, opts.NCores, opts.Scale, runObs{tr: tr, interval: opts.SampleInterval, metrics: opts.Metrics})
 				}
 			}
 		default:

@@ -143,6 +143,7 @@ type Mesh[P any] struct {
 	lastArrive []int64
 	seq        uint64
 	inFlight   int
+	peak       int // in-flight high-water mark
 	stats      Stats
 	tr         *trace.Tracer
 	// delayFn, when non-nil, returns extra cycles to add to a packet's
@@ -227,6 +228,9 @@ func (m *Mesh[P]) Send(now int64, p Packet[P]) {
 	m.stats.BytesByCat[p.Cat] += uint64(p.Size)
 	m.seq++
 	m.inFlight++
+	if m.inFlight > m.peak {
+		m.peak = m.inFlight
+	}
 	arrive := now + m.Latency(p.Src, p.Dst, p.Size)
 	if m.delayFn != nil {
 		arrive += m.delayFn(p.Src, p.Dst, p.Size)
@@ -267,6 +271,10 @@ func (m *Mesh[P]) Pending() bool { return m.inFlight > 0 }
 // InFlight returns the number of packets currently in flight (deadlock
 // diagnostics).
 func (m *Mesh[P]) InFlight() int { return m.inFlight }
+
+// PeakInFlight returns the in-flight high-water mark over the run
+// (exported as the machine.noc.inflight_peak gauge).
+func (m *Mesh[P]) PeakInFlight() int { return m.peak }
 
 // NextArrival returns the earliest arrival cycle over every undelivered
 // packet, or math.MaxInt64 when nothing is in flight. The simulator's

@@ -151,6 +151,14 @@ func TestBrokenFenceCaught(t *testing.T) {
 	if !strings.Contains(v.Error(), "fence") {
 		t.Errorf("violation message does not mention the fence:\n%v", v)
 	}
+	// Tracing was off, yet the always-on flight recorder must hand the
+	// violation report a tail of the final events.
+	if len(v.Tail) == 0 {
+		t.Fatal("violation carries no flight-recorder tail despite tracing being off")
+	}
+	if !strings.Contains(v.Error(), "flight-recorder events before failure:") {
+		t.Errorf("violation message does not render the recorder tail:\n%v", v)
+	}
 }
 
 // TestCheckerObservationOnly verifies the oracle changes nothing: a run

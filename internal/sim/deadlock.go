@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"strings"
+
+	"asymfence/internal/trace"
 )
 
 // CoreDump is one unfinished core's state at deadlock detection time.
@@ -47,6 +49,10 @@ type DeadlockError struct {
 	// WBDepths is every core's write-buffer occupancy, by core id (all
 	// cores, not just the stuck ones).
 	WBDepths []int
+	// Tail is the machine's flight-recorder tail: the last events
+	// before the watchdog fired, oldest-first. It is populated even when
+	// tracing is off (the recorder is always on).
+	Tail []trace.Event
 }
 
 // Error renders the full diagnostic report.
@@ -75,6 +81,10 @@ func (e *DeadlockError) Error() string {
 		b.WriteString("\n")
 		b.WriteString(d)
 	}
+	if tail := trace.FormatTail(e.Tail); tail != "" {
+		b.WriteString("\n")
+		b.WriteString(tail)
+	}
 	return b.String()
 }
 
@@ -83,7 +93,11 @@ func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
 
 // deadlockError snapshots the stuck machine.
 func (m *Machine) deadlockError() *DeadlockError {
-	e := &DeadlockError{Cycle: m.cycle, NoCInFlight: m.mesh.InFlight()}
+	e := &DeadlockError{
+		Cycle:       m.cycle,
+		NoCInFlight: m.mesh.InFlight(),
+		Tail:        m.tr.Recorder().Tail(),
+	}
 	for i, c := range m.cores {
 		e.WBDepths = append(e.WBDepths, c.WBDepth())
 		if !c.Finished() || c.Pending() {

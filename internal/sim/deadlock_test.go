@@ -60,4 +60,17 @@ func TestAllWeakSWPlusDeadlockReportsState(t *testing.T) {
 			t.Errorf("deadlock report missing %q:\n%s", want, msg)
 		}
 	}
+	// Tracing was off, yet the always-on flight recorder must still
+	// hand the report a tail of the final events.
+	if len(de.Tail) == 0 {
+		t.Fatal("deadlock report has no flight-recorder tail despite tracing being off")
+	}
+	if !strings.Contains(msg, "flight-recorder events before failure:") {
+		t.Errorf("deadlock report does not render the recorder tail:\n%s", msg)
+	}
+	for i := 1; i < len(de.Tail); i++ {
+		if de.Tail[i].Cycle < de.Tail[i-1].Cycle {
+			t.Fatalf("tail out of order at %d: %v then %v", i, de.Tail[i-1], de.Tail[i])
+		}
+	}
 }

@@ -1,0 +1,99 @@
+package sim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"asymfence/internal/fence"
+	"asymfence/internal/mem"
+	"asymfence/internal/metrics"
+	"asymfence/internal/sim"
+	"asymfence/internal/workloads/litmus"
+)
+
+// runSBWithMetrics executes one SB litmus machine against reg.
+func runSBWithMetrics(t *testing.T, reg *metrics.Registry) *sim.Result {
+	t.Helper()
+	al := mem.NewAllocator(dataBase)
+	progs, _ := litmus.SB(al, litmus.Weak, litmus.Weak, 3)
+	m, err := sim.New(sim.Config{
+		NCores:  2,
+		Design:  fence.Wee,
+		Metrics: reg,
+	}, progs[:], mem.NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMachineMetricsPopulated asserts a run exports its machine
+// counters into the configured registry and hands it back on the
+// result.
+func TestMachineMetricsPopulated(t *testing.T) {
+	reg := metrics.NewRegistry()
+	res := runSBWithMetrics(t, reg)
+	if res.Metrics != reg {
+		t.Fatal("Result.Metrics does not hand back the configured registry")
+	}
+	m := reg.Scope("machine")
+	if got := m.Counter("cycles").Value(); got != res.Cycles {
+		t.Errorf("machine.cycles = %d, want %d", got, res.Cycles)
+	}
+	if got := m.Counter("runs").Value(); got != 1 {
+		t.Errorf("machine.runs = %d, want 1", got)
+	}
+	agg := res.Agg()
+	if got := m.Scope("fence").Counter("weak").Value(); got != int64(agg.WFences) {
+		t.Errorf("machine.fence.weak = %d, want %d", got, agg.WFences)
+	}
+	if got := m.Scope("noc").Counter("packets").Value(); got != int64(res.NoC.Packets) {
+		t.Errorf("machine.noc.packets = %d, want %d", got, res.NoC.Packets)
+	}
+	if m.Scope("noc").Gauge("inflight_peak").Value() <= 0 {
+		t.Error("machine.noc.inflight_peak never rose above zero")
+	}
+	if m.Scope("wb").Histogram("occupancy").Count() == 0 {
+		t.Error("machine.wb.occupancy saw no store retirements")
+	}
+}
+
+// TestMachineMetricsDeterministic asserts two identical runs render
+// byte-identical snapshots, and that sharing one registry across runs
+// doubles the counters exactly (merge-by-commutativity).
+func TestMachineMetricsDeterministic(t *testing.T) {
+	a, b := metrics.NewRegistry(), metrics.NewRegistry()
+	runSBWithMetrics(t, a)
+	runSBWithMetrics(t, b)
+	if !bytes.Equal(a.JSON(), b.JSON()) {
+		t.Fatalf("identical runs rendered different snapshots:\n%s\n---\n%s", a.JSON(), b.JSON())
+	}
+	shared := metrics.NewRegistry()
+	runSBWithMetrics(t, shared)
+	runSBWithMetrics(t, shared)
+	one := a.Scope("machine").Counter("cycles").Value()
+	if got := shared.Scope("machine").Counter("cycles").Value(); got != 2*one {
+		t.Errorf("shared-registry cycles = %d, want %d (exactly two runs)", got, 2*one)
+	}
+	if got := shared.Scope("machine").Counter("runs").Value(); got != 2 {
+		t.Errorf("shared-registry runs = %d, want 2", got)
+	}
+}
+
+// TestMetricsObservationOnly verifies metrics change nothing: a run
+// with a registry attached must produce the same cycle count as one
+// without.
+func TestMetricsObservationOnly(t *testing.T) {
+	with := runSBWithMetrics(t, metrics.NewRegistry())
+	without := runSBWithMetrics(t, nil)
+	if with.Cycles != without.Cycles {
+		t.Fatalf("metrics changed the run: %d cycles with, %d without", with.Cycles, without.Cycles)
+	}
+	if without.Metrics != nil {
+		t.Error("Result.Metrics set despite metrics being off")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"asymfence/internal/fence"
 	"asymfence/internal/isa"
 	"asymfence/internal/mem"
+	"asymfence/internal/metrics"
 	"asymfence/internal/noc"
 	"asymfence/internal/stats"
 	"asymfence/internal/trace"
@@ -54,8 +55,19 @@ type Config struct {
 	WarmRegions []mem.Region
 
 	// Trace receives every component's events (nil, the default,
-	// disables tracing at zero cost; see internal/trace).
+	// disables tracing at zero cost; see internal/trace). Whether or
+	// not tracing is on, the machine keeps a flight recorder: New
+	// attaches a trace.Recorder to the tracer (substituting a
+	// recorder-only tracer when Trace is nil), and failure reports
+	// (DeadlockError, ViolationError) carry its tail.
 	Trace *trace.Tracer
+
+	// Metrics, when non-nil, receives the run's machine counters under
+	// the "machine" scope (see internal/metrics and OBSERVABILITY.md).
+	// Counter updates commute, so concurrent runs may share a registry
+	// and still produce scheduling-independent totals. Nil (the
+	// default) disables metrics at zero cost.
+	Metrics *metrics.Registry
 
 	// Checker is the runtime invariant oracle (nil, the default,
 	// disables checking at zero cost; see internal/check). A violation
@@ -118,6 +130,8 @@ type Machine struct {
 	skipped int64
 	// chk is the attached invariant oracle (nil when checking is off).
 	chk *check.Oracle
+	// mx holds the machine's metric handles (nil when metrics are off).
+	mx *simMetrics
 }
 
 // New builds a machine running programs[i] on core i. len(programs) must
@@ -127,19 +141,28 @@ func New(cfg Config, programs []*isa.Program, store *mem.Store) (*Machine, error
 	if len(programs) != cfg.NCores {
 		return nil, fmt.Errorf("sim: %d programs for %d cores", len(programs), cfg.NCores)
 	}
+	// The flight recorder is always on: when tracing is off the machine
+	// still runs a recorder-only tracer (empty mask, ring writes only),
+	// so failure reports carry a tail in every configuration.
+	tr := cfg.Trace
+	if tr == nil {
+		tr = trace.NewRecording(trace.NewRecorder())
+	} else if tr.Recorder() == nil {
+		tr.SetRecorder(trace.NewRecorder())
+	}
 	w, h := noc.MeshFor(cfg.NCores)
 	mesh := noc.NewMesh[coherence.Msg](w, h)
-	mesh.SetTracer(cfg.Trace)
+	mesh.SetTracer(tr)
 	if cfg.Faults != nil {
 		mesh.SetDelayFn(cfg.Faults.NoCDelay)
 	}
 	grt := coherence.NewGRT()
-	m := &Machine{cfg: cfg, mesh: mesh, store: store, tr: cfg.Trace,
+	m := &Machine{cfg: cfg, mesh: mesh, store: store, tr: tr,
 		sampler: trace.NewSampler(cfg.SampleInterval, cfg.NCores),
-		chk:     cfg.Checker}
+		chk:     cfg.Checker, mx: newSimMetrics(cfg.Metrics)}
 	for i := 0; i < cfg.NCores; i++ {
 		d := coherence.NewDirectory(i, cfg.NCores, mesh, cfg.L2BytesPerBank, grt)
-		d.SetTracer(cfg.Trace)
+		d.SetTracer(tr)
 		if cfg.Checker != nil {
 			d.SetChecker(cfg.Checker)
 		}
@@ -152,7 +175,8 @@ func New(cfg Config, programs []*isa.Program, store *mem.Store) (*Machine, error
 		cc.NCores = cfg.NCores
 		cc.Design = cfg.Design
 		cc.Privacy = cfg.Privacy
-		cc.Tracer = cfg.Trace
+		cc.Tracer = tr
+		cc.WBOcc = m.mx.wbHist()
 		cc.Checker = cfg.Checker
 		cc.Faults = cfg.Faults
 		cc.NoIdleSleep = cfg.PureStepping
@@ -261,6 +285,11 @@ type Result struct {
 	// Intervals is the per-core cycle-breakdown time series when
 	// Config.SampleInterval was set (nil otherwise).
 	Intervals []trace.Sample
+
+	// Metrics is the registry the run exported its machine counters
+	// into — Config.Metrics, handed back for convenience (nil when
+	// metrics were off).
+	Metrics *metrics.Registry
 }
 
 // Agg returns the per-core stats merged into one block.
@@ -294,7 +323,22 @@ func (m *Machine) result(finished bool) *Result {
 	}
 	m.sampler.Flush(m.cycle, m.coreStats)
 	r.Intervals = m.sampler.Samples()
+	if m.mx != nil {
+		m.mx.export(m, r.Agg())
+		m.mx.exportRun()
+		r.Metrics = m.cfg.Metrics
+	}
 	return r
+}
+
+// withTail attaches the flight-recorder tail to a violation error that
+// does not carry one yet (the fuzz harness may have filled it already).
+func (m *Machine) withTail(err error) error {
+	var v *check.ViolationError
+	if errors.As(err, &v) && v.Tail == nil {
+		v.Tail = m.tr.Recorder().Tail()
+	}
+	return err
 }
 
 // cancelPollMask sets how often the cycle loops poll for cancellation:
@@ -326,7 +370,7 @@ func (m *Machine) RunCtx(ctx context.Context) (*Result, error) {
 	for m.cycle < m.cfg.MaxCycles {
 		m.Step()
 		if err := m.violation(); err != nil {
-			return m.result(false), err
+			return m.result(false), m.withTail(err)
 		}
 		if m.Finished() {
 			return m.result(true), nil
@@ -425,7 +469,7 @@ func (m *Machine) RunForCtx(ctx context.Context, n int64) (*Result, error) {
 	for m.cycle < end {
 		m.Step()
 		if err := m.violation(); err != nil {
-			return m.result(false), err
+			return m.result(false), m.withTail(err)
 		}
 		if done != nil && m.cycle&cancelPollMask == 0 {
 			select {

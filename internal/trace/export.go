@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+
+	"asymfence/internal/buildinfo"
 )
 
 // The exporters write fields in a fixed order with fmt, never by
@@ -41,12 +43,14 @@ var kindHasLine = [numKinds]bool{
 }
 
 // WriteJSONL writes the event stream and interval series as JSON Lines:
-// a meta header, then one object per event ("type":"event") and per
+// a meta header (including the generating binary's version for
+// provenance), then one object per event ("type":"event") and per
 // interval row ("type":"sample"). See OBSERVABILITY.md for the schema.
 func WriteJSONL(w io.Writer, evs []Event, samples []Sample, dropped uint64) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, `{"type":"meta","version":1,"events":%d,"samples":%d,"dropped":%d}`+"\n",
-		len(evs), len(samples), dropped)
+	bi := buildinfo.Get()
+	fmt.Fprintf(bw, `{"type":"meta","version":1,"generator":"asymsim %s","events":%d,"samples":%d,"dropped":%d}`+"\n",
+		bi.Version, len(evs), len(samples), dropped)
 	for i := range evs {
 		e := &evs[i]
 		fmt.Fprintf(bw, `{"type":"event","cycle":%d,"kind":%q,"node":%d`, e.Cycle, e.Kind.String(), e.Node)

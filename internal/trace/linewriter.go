@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// LineWriter serializes line-oriented output from concurrent writers
+// onto one underlying io.Writer. Each complete line reaches the
+// underlying writer in a single Write call under a mutex, so two
+// goroutines reporting progress at once can no longer interleave
+// mid-line (the runner's Options.Progress stream had exactly that bug
+// when several workers finished jobs simultaneously). Partial lines are
+// buffered until their newline arrives; Flush forces them out.
+type LineWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf bytes.Buffer // pending partial line
+}
+
+// NewLineWriter wraps w. If w is already a *LineWriter it is returned
+// as-is, so layering Narrators and runners over the same stream shares
+// one serialization point instead of stacking buffers.
+func NewLineWriter(w io.Writer) *LineWriter {
+	if lw, ok := w.(*LineWriter); ok {
+		return lw
+	}
+	if w == nil {
+		return nil
+	}
+	return &LineWriter{w: w}
+}
+
+// Write buffers p and forwards every complete line (everything up to
+// and including the final newline in the buffer) as one underlying
+// Write. It always reports len(p) consumed on success.
+func (lw *LineWriter) Write(p []byte) (int, error) {
+	if lw == nil {
+		return len(p), nil
+	}
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	lw.buf.Write(p)
+	b := lw.buf.Bytes()
+	last := bytes.LastIndexByte(b, '\n')
+	if last < 0 {
+		return len(p), nil
+	}
+	if _, err := lw.w.Write(b[:last+1]); err != nil {
+		return 0, err
+	}
+	rest := append([]byte(nil), b[last+1:]...)
+	lw.buf.Reset()
+	lw.buf.Write(rest)
+	return len(p), nil
+}
+
+// Flush writes any buffered partial line without waiting for its
+// newline. Callers should flush once at end of stream.
+func (lw *LineWriter) Flush() error {
+	if lw == nil {
+		return nil
+	}
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if lw.buf.Len() == 0 {
+		return nil
+	}
+	_, err := lw.w.Write(lw.buf.Bytes())
+	lw.buf.Reset()
+	return err
+}

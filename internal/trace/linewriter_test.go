@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// chunkRecorder records each underlying Write call separately so tests
+// can assert line atomicity.
+type chunkRecorder struct {
+	mu     sync.Mutex
+	chunks []string
+}
+
+func (c *chunkRecorder) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.chunks = append(c.chunks, string(p))
+	c.mu.Unlock()
+	return len(p), nil
+}
+
+func TestLineWriterBuffersPartialLines(t *testing.T) {
+	var cr chunkRecorder
+	lw := NewLineWriter(&cr)
+	fmt.Fprintf(lw, "half")
+	if len(cr.chunks) != 0 {
+		t.Fatalf("partial line leaked: %q", cr.chunks)
+	}
+	fmt.Fprintf(lw, " done\nnext")
+	if len(cr.chunks) != 1 || cr.chunks[0] != "half done\n" {
+		t.Fatalf("chunks = %q, want one complete line", cr.chunks)
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.chunks) != 2 || cr.chunks[1] != "next" {
+		t.Fatalf("flush chunks = %q", cr.chunks)
+	}
+}
+
+func TestLineWriterIdempotentWrap(t *testing.T) {
+	var b bytes.Buffer
+	lw := NewLineWriter(&b)
+	if NewLineWriter(lw) != lw {
+		t.Error("wrapping a LineWriter must return it unchanged")
+	}
+	if NewLineWriter(nil) != nil {
+		t.Error("wrapping nil must stay nil")
+	}
+	var nilLW *LineWriter
+	if n, err := nilLW.Write([]byte("x")); n != 1 || err != nil {
+		t.Error("nil LineWriter must swallow writes")
+	}
+	if err := nilLW.Flush(); err != nil {
+		t.Error("nil LineWriter Flush must be a no-op")
+	}
+}
+
+// TestLineWriterNoMidLineInterleave hammers one LineWriter from many
+// goroutines (the runner's progress-stream shape) and asserts every
+// underlying Write is a whole line from a single writer. Run under
+// -race this also checks the locking.
+func TestLineWriterNoMidLineInterleave(t *testing.T) {
+	var cr chunkRecorder
+	lw := NewLineWriter(&cr)
+	const writers, lines = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < lines; i++ {
+				fmt.Fprintf(lw, "worker=%d line=%d tag=%s\n", w, i, strings.Repeat("x", 1+i%13))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, ch := range cr.chunks {
+		if !strings.HasSuffix(ch, "\n") {
+			t.Fatalf("underlying write is not newline-terminated: %q", ch)
+		}
+		for _, line := range strings.Split(strings.TrimSuffix(ch, "\n"), "\n") {
+			var w, i int
+			var tag string
+			if _, err := fmt.Sscanf(line, "worker=%d line=%d tag=%s", &w, &i, &tag); err != nil {
+				t.Fatalf("garbled line %q: %v", line, err)
+			}
+			if tag != strings.Repeat("x", 1+i%13) {
+				t.Fatalf("line %q interleaved mid-line", line)
+			}
+			total++
+		}
+	}
+	if total != writers*lines {
+		t.Fatalf("saw %d lines, want %d", total, writers*lines)
+	}
+}
+
+// TestNarratorSharesLineWriter asserts Narrator output goes through the
+// same serialization point as other writers on the stream.
+func TestNarratorSharesLineWriter(t *testing.T) {
+	var cr chunkRecorder
+	lw := NewLineWriter(&cr)
+	n := NewNarrator(lw)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				n.Say("worker %d job %d", w, i)
+				fmt.Fprintf(lw, "direct %d %d\n", w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, ch := range cr.chunks {
+		if !strings.HasSuffix(ch, "\n") {
+			t.Fatalf("mid-line write escaped: %q", ch)
+		}
+	}
+}

@@ -20,12 +20,14 @@ type Narrator struct {
 }
 
 // NewNarrator builds a narrator writing to w. A nil writer yields a nil
-// (silent) narrator.
+// (silent) narrator. The writer is wrapped in a LineWriter, so narrator
+// lines and any other writers sharing the same LineWriter cannot
+// interleave mid-line.
 func NewNarrator(w io.Writer) *Narrator {
 	if w == nil {
 		return nil
 	}
-	return &Narrator{w: w, start: time.Now()}
+	return &Narrator{w: NewLineWriter(w), start: time.Now()}
 }
 
 // Say emits one progress line, prefixed with the wall-clock elapsed

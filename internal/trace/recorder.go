@@ -1,0 +1,79 @@
+package trace
+
+import "fmt"
+
+// RecorderDepth is the flight recorder's fixed ring capacity. 256 recent
+// events is enough to show the failing interaction (a fence lifecycle, a
+// bounce loop, the last few coherence transactions) without the recorder
+// ever allocating after construction.
+const RecorderDepth = 256
+
+// Recorder is the always-on flight recorder: a fixed-size ring of the
+// most recent events, cheap enough to run even when full tracing is off.
+// The simulator attaches one to every machine unconditionally; when a
+// run dies (watchdog deadlock, invariant violation) the failure report
+// carries the recorder's tail, so every post-mortem shows the last
+// ~RecorderDepth events before death without rerunning under trace.
+//
+// A nil *Recorder is valid and disabled. A Recorder never allocates
+// after construction: recording overwrites ring slots in place, which is
+// what keeps the cycle loop's zero-allocs-per-cycle property intact (a
+// testing.AllocsPerRun test in this package holds it).
+type Recorder struct {
+	buf [RecorderDepth]Event
+	n   uint64 // events ever recorded
+}
+
+// NewRecorder returns an empty flight recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// record stores one event, overwriting the oldest once the ring is full.
+func (r *Recorder) record(e Event) {
+	r.buf[r.n%RecorderDepth] = e
+	r.n++
+}
+
+// Total returns how many events were ever recorded (0 on nil).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Tail returns the retained events oldest-first (at most RecorderDepth;
+// nil on a nil or empty recorder). The slice is freshly allocated.
+func (r *Recorder) Tail() []Event {
+	if r == nil || r.n == 0 {
+		return nil
+	}
+	if r.n <= RecorderDepth {
+		return append([]Event(nil), r.buf[:r.n]...)
+	}
+	start := r.n % RecorderDepth
+	out := make([]Event, 0, RecorderDepth)
+	out = append(out, r.buf[start:]...)
+	out = append(out, r.buf[:start]...)
+	return out
+}
+
+// String renders one event in the fixed-width form failure reports use.
+func (e Event) String() string {
+	return fmt.Sprintf("@%-8d %-14s node=%d line=%#x a=%d b=%d c=%d",
+		e.Cycle, e.Kind, e.Node, e.Line, e.A, e.B, e.C)
+}
+
+// FormatTail renders a flight-recorder tail as the indented block that
+// DeadlockError and ViolationError embed in their reports. It returns ""
+// for an empty tail.
+func FormatTail(evs []Event) string {
+	if len(evs) == 0 {
+		return ""
+	}
+	b := make([]byte, 0, 64*len(evs))
+	b = fmt.Appendf(b, "last %d flight-recorder events before failure:", len(evs))
+	for _, e := range evs {
+		b = fmt.Appendf(b, "\n  %s", e)
+	}
+	return string(b)
+}

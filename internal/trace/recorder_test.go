@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderTailOrdering(t *testing.T) {
+	r := NewRecorder()
+	if r.Tail() != nil || r.Total() != 0 {
+		t.Fatal("fresh recorder must be empty")
+	}
+	tr := NewRecording(r)
+	for i := 0; i < 10; i++ {
+		tr.Emit(int64(i), KWBBounce, 0, 0, int64(i), 0, 0)
+	}
+	tail := r.Tail()
+	if len(tail) != 10 {
+		t.Fatalf("tail len = %d, want 10", len(tail))
+	}
+	for i, e := range tail {
+		if e.Cycle != int64(i) {
+			t.Fatalf("tail[%d].Cycle = %d, want %d (oldest-first)", i, e.Cycle, i)
+		}
+	}
+}
+
+func TestRecorderWrapsKeepingNewest(t *testing.T) {
+	r := NewRecorder()
+	tr := NewRecording(r)
+	total := RecorderDepth*2 + 17
+	for i := 0; i < total; i++ {
+		tr.Emit(int64(i), KSquash, 1, 0x40, 0, 0, 0)
+	}
+	if r.Total() != uint64(total) {
+		t.Fatalf("Total = %d, want %d", r.Total(), total)
+	}
+	tail := r.Tail()
+	if len(tail) != RecorderDepth {
+		t.Fatalf("tail len = %d, want %d", len(tail), RecorderDepth)
+	}
+	for i, e := range tail {
+		want := int64(total - RecorderDepth + i)
+		if e.Cycle != want {
+			t.Fatalf("tail[%d].Cycle = %d, want %d", i, e.Cycle, want)
+		}
+	}
+}
+
+// TestRecorderSeesMaskedEvents asserts the flight recorder captures
+// events the tracer's mask drops — failure tails must be complete even
+// under a narrow trace mask.
+func TestRecorderSeesMaskedEvents(t *testing.T) {
+	r := NewRecorder()
+	tr := New(Options{Mask: MaskFence, Recorder: r})
+	tr.Emit(1, KNoCSend, 0, 0, 1, 8, 0) // masked out of the buffer
+	tr.Emit(2, KFenceStrong, 0, 0, 0x10, 0, 0)
+	if tr.Len() != 1 {
+		t.Fatalf("tracer buffered %d events, want 1 (mask)", tr.Len())
+	}
+	if r.Total() != 2 {
+		t.Fatalf("recorder saw %d events, want 2", r.Total())
+	}
+}
+
+func TestSetRecorder(t *testing.T) {
+	var nilT *Tracer
+	if nilT.SetRecorder(NewRecorder()) {
+		t.Error("SetRecorder on nil tracer must report false")
+	}
+	if nilT.Recorder() != nil {
+		t.Error("Recorder on nil tracer must be nil")
+	}
+	tr := New(Options{})
+	r1 := NewRecorder()
+	if !tr.SetRecorder(r1) || tr.Recorder() != r1 {
+		t.Fatal("SetRecorder failed to attach")
+	}
+	r2 := NewRecorder()
+	if tr.SetRecorder(r2) {
+		t.Error("SetRecorder must not replace an existing recorder")
+	}
+	if tr.Recorder() != r1 {
+		t.Error("existing recorder was replaced")
+	}
+}
+
+// TestRecordingEmitIsAllocationFree holds the always-on contract: a
+// recorder-only tracer adds zero allocations per emitted event.
+func TestRecordingEmitIsAllocationFree(t *testing.T) {
+	tr := NewRecording(NewRecorder())
+	cycle := int64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		cycle++
+		tr.Emit(cycle, KWBBounce, 2, 0x80, cycle, 0, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("recorder-only Emit allocated %v per event, want 0", allocs)
+	}
+}
+
+func TestFormatTail(t *testing.T) {
+	if FormatTail(nil) != "" {
+		t.Error("empty tail must render empty")
+	}
+	got := FormatTail([]Event{{Cycle: 7, Kind: KWBBounce, Node: 3, Line: 0x40, A: 9}})
+	for _, want := range []string{"last 1 flight-recorder events", "@7", "wb.bounce", "node=3", "line=0x40", "a=9"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("FormatTail missing %q in:\n%s", want, got)
+		}
+	}
+}

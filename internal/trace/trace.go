@@ -174,6 +174,11 @@ type Options struct {
 	// MaxEvents bounds the buffer; once full the oldest events are
 	// overwritten ring-style and Dropped counts them. Zero is unbounded.
 	MaxEvents int
+	// Recorder, when non-nil, is a flight recorder that sees every
+	// emitted event regardless of Mask (the ring write happens before
+	// the mask check, so failure tails are complete even under a
+	// narrow trace mask).
+	Recorder *Recorder
 }
 
 // Tracer is a deterministic event buffer. A nil *Tracer is a valid,
@@ -185,6 +190,7 @@ type Tracer struct {
 	evs     []Event
 	start   int // ring head once the buffer has wrapped
 	dropped uint64
+	rec     *Recorder
 }
 
 // New builds a tracer. A zero Options value records every event class
@@ -194,19 +200,57 @@ func New(opts Options) *Tracer {
 	if m == 0 {
 		m = MaskAll
 	}
-	return &Tracer{mask: m, max: opts.MaxEvents}
+	return &Tracer{mask: m, max: opts.MaxEvents, rec: opts.Recorder}
+}
+
+// NewRecording builds a recorder-only tracer: its mask is empty, so it
+// buffers nothing, but every Emit lands in rec's ring. This is what the
+// simulator substitutes when tracing is off, keeping the flight
+// recorder always on at ring-store cost.
+func NewRecording(rec *Recorder) *Tracer {
+	return &Tracer{rec: rec}
+}
+
+// SetRecorder attaches a flight recorder if the tracer exists and does
+// not already have one. It reports whether rec is now (or was already)
+// the tracer's recorder.
+func (t *Tracer) SetRecorder(rec *Recorder) bool {
+	if t == nil {
+		return false
+	}
+	if t.rec == nil {
+		t.rec = rec
+	}
+	return t.rec == rec
+}
+
+// Recorder returns the attached flight recorder (nil on a nil tracer or
+// when none is attached).
+func (t *Tracer) Recorder() *Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec
 }
 
 // Enabled reports whether the tracer records anything at all.
 func (t *Tracer) Enabled() bool { return t != nil }
 
 // Emit records one event. It is safe (and free) to call on a nil
-// tracer; this is the fast path every component sits on.
+// tracer; this is the fast path every component sits on. The flight
+// recorder (if attached) sees the event before the mask check.
 func (t *Tracer) Emit(cycle int64, k Kind, node int32, line uint64, a, b, c int64) {
-	if t == nil || t.mask&kindClass[k] == 0 {
+	if t == nil {
 		return
 	}
-	t.add(Event{Cycle: cycle, Kind: k, Node: node, Line: line, A: a, B: b, C: c})
+	e := Event{Cycle: cycle, Kind: k, Node: node, Line: line, A: a, B: b, C: c}
+	if t.rec != nil {
+		t.rec.record(e)
+	}
+	if t.mask&kindClass[k] == 0 {
+		return
+	}
+	t.add(e)
 }
 
 func (t *Tracer) add(e Event) {

@@ -41,6 +41,9 @@ type TraceOptions struct {
 	// SampleInterval is the interval-metrics period in cycles
 	// (default 1000; negative disables sampling).
 	SampleInterval int64
+	// Metrics, when non-nil, receives the run's machine counters (see
+	// MetricsRegistry).
+	Metrics *MetricsRegistry
 }
 
 // TraceResult is a traced workload execution. Its exporters write the
@@ -117,6 +120,7 @@ func TraceWorkload(ctx context.Context, group, app string, d Design, opts TraceO
 		Mask:           opts.Mask,
 		MaxEvents:      opts.MaxEvents,
 		SampleInterval: opts.SampleInterval,
+		Metrics:        opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
