@@ -3,10 +3,11 @@
 
 GO ?= go
 
-.PHONY: check fmt vet doccheck build test race race-runner smoke bench \
-	bench-snapshot bench-baseline bench-metrics check-invariants fuzz-smoke
+.PHONY: check fmt vet doccheck build test race race-runner check-store \
+	smoke bench bench-snapshot bench-baseline bench-metrics \
+	check-invariants fuzz-smoke
 
-check: fmt vet doccheck build test race-runner check-invariants fuzz-smoke smoke
+check: fmt vet doccheck build test race-runner check-store check-invariants fuzz-smoke smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -20,8 +21,8 @@ vet:
 # Documentation lint (tools/doccheck): package docs everywhere, doc
 # comments on every exported identifier in internal packages.
 doccheck:
-	$(GO) run ./tools/doccheck ./internal/... ./cmd/... ./examples/... .
-	$(GO) run ./tools/doccheck -exported ./internal/...
+	$(GO) run ./tools/doccheck ./api ./internal/... ./cmd/... ./examples/... .
+	$(GO) run ./tools/doccheck -exported ./api ./internal/...
 
 build:
 	$(GO) build ./...
@@ -41,6 +42,17 @@ race:
 race-runner:
 	$(GO) test -race -run 'Equivalence|CacheHit|Cancellation' -count=1 .
 	$(GO) test -race -count=1 ./internal/experiments/runner/
+
+# The persistence layer under the race detector: the content-addressed
+# store's crash-safety/GC suite, the runner's read-through/write-behind
+# tier contract, the warm-vs-cold byte-equivalence tests and the
+# asymsimd submit->poll->result end-to-end test. Every test runs in its
+# own t.TempDir, so no state leaks between runs.
+check-store:
+	$(GO) test -race -count=1 ./internal/store/
+	$(GO) test -race -count=1 -run 'Tier|StoreMetrics' ./internal/experiments/runner/
+	$(GO) test -race -count=1 -run 'TestStore' .
+	$(GO) test -race -count=1 -run 'TestSubmit' ./cmd/asymsim/
 
 # Quick end-to-end sanity: the headline experiment at reduced scale on
 # a parallel worker pool.

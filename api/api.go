@@ -1,0 +1,135 @@
+// Package api defines the versioned wire schema of the asymsimd job
+// service: the JSON request and response bodies exchanged over the /v1
+// HTTP endpoints that `asymsim serve` (daemon mode) exposes and
+// `asymsim submit` consumes. Server and client compile against these
+// same types, so the two cannot drift; the schema itself is versioned
+// by the URL prefix (Version) and evolves by adding endpoints or
+// optional fields, never by changing the meaning of existing ones.
+//
+// Endpoints (see OBSERVABILITY.md for the full contract):
+//
+//	POST /v1/jobs        SubmitRequest -> SubmitResponse (a job-set id)
+//	GET  /v1/jobs/{id}   JobSet (per-job state, source and results)
+//	GET  /v1/store/stats StoreStats (persistent-store occupancy/traffic)
+//
+// Errors return a non-2xx status with an Error body.
+package api
+
+// Version is the wire-schema version; it is the URL prefix of every
+// endpoint this package describes ("/" + Version + "/jobs", ...).
+const Version = "v1"
+
+// Job specifies one simulation: a (workload, design, machine size) run,
+// the wire form of asymfence.SimJob. Design is the paper's design name
+// ("S+", "WS+", "SW+", "W+", "Wee", "C-Fence"; the server accepts the
+// same aliases as asymfence.ParseDesign). Zero sizing fields take the
+// server's defaults (8 cores, full scale, 60k-cycle horizon).
+type Job struct {
+	Group   string  `json:"group"`
+	App     string  `json:"app"`
+	Design  string  `json:"design"`
+	Cores   int     `json:"cores,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+	Horizon int64   `json:"horizon,omitempty"`
+}
+
+// SubmitRequest is the POST /v1/jobs body: a batch of jobs to run as
+// one job set.
+type SubmitRequest struct {
+	Jobs []Job `json:"jobs"`
+}
+
+// SubmitResponse acknowledges a submission with the job-set id to poll.
+type SubmitResponse struct {
+	// ID names the job set: poll GET /v1/jobs/{id}.
+	ID string `json:"id"`
+	// Jobs echoes the accepted job count.
+	Jobs int `json:"jobs"`
+}
+
+// JobState is the lifecycle of one submitted job.
+type JobState string
+
+const (
+	// JobPending jobs are queued behind the daemon's worker pool.
+	JobPending JobState = "pending"
+	// JobRunning jobs are simulating (or loading from a cache tier).
+	JobRunning JobState = "running"
+	// JobDone jobs finished; Result is set.
+	JobDone JobState = "done"
+	// JobFailed jobs errored; Error is set.
+	JobFailed JobState = "failed"
+)
+
+// Measurement is the wire form of a completed job's result: the
+// headline quantities of asymfence.WorkloadMeasurement. It is
+// deliberately compact — the full per-module breakdown stays
+// server-side (in the measurement store) and can be regenerated from
+// the same Job spec deterministically.
+type Measurement struct {
+	// Cycles the run took (execution-time groups) or ran for
+	// (throughput groups).
+	Cycles int64 `json:"cycles"`
+	// Commits is the number of committed transactions (ustm/stamp).
+	Commits uint64 `json:"commits,omitempty"`
+	// Throughput is committed transactions per million cycles
+	// (throughput groups; 0 elsewhere).
+	Throughput float64 `json:"throughput,omitempty"`
+	// Busy, FenceStall and OtherStall partition aggregate core time
+	// (fractions in [0,1]).
+	Busy       float64 `json:"busy"`
+	FenceStall float64 `json:"fence_stall"`
+	OtherStall float64 `json:"other_stall"`
+	// SFences, WFences and Recoveries count fence-protocol events.
+	SFences    uint64 `json:"sfences"`
+	WFences    uint64 `json:"wfences"`
+	Recoveries uint64 `json:"recoveries"`
+}
+
+// JobStatus is the live view of one job within a set.
+type JobStatus struct {
+	// Job echoes the submitted spec (Design canonicalized).
+	Job Job `json:"job"`
+	// State is the job's lifecycle position.
+	State JobState `json:"state"`
+	// Source reports where a done job's measurement came from:
+	// "simulated", "cache hit" or "store hit". Empty until done.
+	Source string `json:"source,omitempty"`
+	// Result is set when State is JobDone.
+	Result *Measurement `json:"result,omitempty"`
+	// Error is set when State is JobFailed.
+	Error string `json:"error,omitempty"`
+}
+
+// JobSet is the GET /v1/jobs/{id} body: the whole submission's
+// progress, jobs in submission order.
+type JobSet struct {
+	ID   string      `json:"id"`
+	Jobs []JobStatus `json:"jobs"`
+	// Done reports whether every job reached a terminal state.
+	Done bool `json:"done"`
+}
+
+// StoreStats is the GET /v1/store/stats body: occupancy and traffic of
+// the daemon's persistent measurement store. Enabled is false (and the
+// counters zero) when the daemon runs without -store.
+type StoreStats struct {
+	Enabled bool `json:"enabled"`
+	// Dir is the store's root directory.
+	Dir string `json:"dir,omitempty"`
+	// Records and Bytes describe current occupancy.
+	Records int   `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	// Hits, Misses, Writes, Evictions and Corrupt count traffic since
+	// the store opened.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Writes    int64 `json:"writes"`
+	Evictions int64 `json:"evictions"`
+	Corrupt   int64 `json:"corrupt"`
+}
+
+// Error is the body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+}

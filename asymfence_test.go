@@ -1,6 +1,7 @@
 package asymfence_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -75,11 +76,18 @@ func TestRunWorkloadByName(t *testing.T) {
 	}
 }
 
-func TestRunExperimentValidation(t *testing.T) {
-	if _, err := asymfence.RunExperiment("fig99", asymfence.ExperimentOptions{}); err == nil {
+func TestExperimentRegistryValidation(t *testing.T) {
+	if _, ok := asymfence.LookupExperiment("fig99"); ok {
 		t.Fatal("unknown experiment accepted")
 	}
-	tables, err := asymfence.RunExperiment("fig8", asymfence.ExperimentOptions{Scale: 0.05, Cores: 4})
+	if _, err := (asymfence.Experiment{}).Run(context.Background(), asymfence.Options{}); err == nil {
+		t.Fatal("zero Experiment value accepted")
+	}
+	exp, ok := asymfence.LookupExperiment("fig8")
+	if !ok {
+		t.Fatal("fig8 missing from registry")
+	}
+	tables, err := exp.Run(context.Background(), asymfence.Options{Scale: 0.05, Cores: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,7 @@ package asymfence
 
 import (
 	"context"
-	"io"
+	"fmt"
 
 	"asymfence/internal/experiments"
 	"asymfence/internal/experiments/runner"
@@ -25,28 +25,26 @@ type SimJob struct {
 	Horizon int64
 }
 
-// BatchOptions tune RunBatch.
+// BatchOptions tune RunBatch; the embedded RunConfig carries the shared
+// execution environment (worker pool, progress, accounting, metrics,
+// persistent store).
 type BatchOptions struct {
-	// Jobs bounds the worker pool (<=0: GOMAXPROCS; 1: sequential).
-	Jobs int
-	// Progress, when non-nil, receives per-job progress lines.
-	Progress io.Writer
-	// Stats, when non-nil, is filled with the batch's job accounting on
-	// return.
-	Stats *RunStats
-	// Metrics, when non-nil, receives the batch's machine and engine
-	// counters (see MetricsRegistry).
-	Metrics *MetricsRegistry
+	RunConfig
 }
 
 // RunBatch executes a flat batch of simulation jobs on a bounded worker
-// pool against the process-wide measurement cache. Results return
+// pool against the process-wide measurement cache, backed by the
+// persistent store when RunConfig.Store/StoreDir is set. Results return
 // positionally — results[i] belongs to jobs[i], whatever the
 // scheduling — so callers merge deterministically. Cancel ctx to abort;
 // the error then wraps context.Canceled.
 func RunBatch(ctx context.Context, jobs []SimJob, opts BatchOptions) ([]*WorkloadMeasurement, error) {
+	st, opened, err := opts.resolveStore()
+	if err != nil {
+		return nil, fmt.Errorf("asymfence: batch: %w", err)
+	}
 	eng := experiments.NewEngine(experiments.EngineOptions{
-		Workers: opts.Jobs, Progress: opts.Progress, Metrics: opts.Metrics,
+		Workers: opts.Jobs, Progress: opts.Progress, Metrics: opts.Metrics, Store: st,
 	})
 	specs := make([]runner.Spec, len(jobs))
 	for i, j := range jobs {
@@ -57,8 +55,13 @@ func RunBatch(ctx context.Context, jobs []SimJob, opts BatchOptions) ([]*Workloa
 	}
 	ms, err := eng.RunSpecs(ctx, specs)
 	if opts.Stats != nil {
-		st := eng.Stats()
-		*opts.Stats = RunStats{Jobs: st.Jobs, CacheHits: st.Hits, Simulated: st.Simulated}
+		es := eng.Stats()
+		*opts.Stats = RunStats{Jobs: es.Jobs, CacheHits: es.Hits, StoreHits: es.StoreHits, Simulated: es.Simulated}
+	}
+	if opened {
+		if cerr := st.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	return ms, err
 }

@@ -74,7 +74,7 @@ func benchCmd(ctx context.Context, args []string) int {
 	reg := newCLIMetrics(*metricsOut)
 	start := time.Now()
 	ms, err := asymfence.RunBatch(ctx, sims, asymfence.BatchOptions{
-		Jobs: workers, Progress: os.Stderr, Stats: &stats, Metrics: reg,
+		RunConfig: asymfence.RunConfig{Jobs: workers, Progress: os.Stderr, Stats: &stats, Metrics: reg},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "asymsim bench:", err)

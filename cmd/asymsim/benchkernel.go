@@ -235,7 +235,7 @@ func timeSequentialAll(ctx context.Context) (float64, error) {
 		return 0, fmt.Errorf("experiment %q not registered", "all")
 	}
 	start := time.Now()
-	if _, err := exp.Run(ctx, asymfence.Options{Jobs: 1, Progress: io.Discard}); err != nil {
+	if _, err := exp.Run(ctx, asymfence.Options{RunConfig: asymfence.RunConfig{Jobs: 1, Progress: io.Discard}}); err != nil {
 		return 0, err
 	}
 	return round3(time.Since(start).Seconds()), nil

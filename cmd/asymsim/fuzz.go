@@ -41,13 +41,13 @@ func fuzzCmd(ctx context.Context, args []string) int {
 
 	reg := newCLIMetrics(*metricsOut)
 	opts := asymfence.FuzzOptions{
+		RunConfig:   asymfence.RunConfig{Metrics: reg},
 		Seeds:       *seeds,
 		StartSeed:   *start,
 		Cores:       *cores,
 		OpsPerCore:  *ops,
 		NoFaults:    *noFaults,
 		TraceEvents: *events,
-		Metrics:     reg,
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr

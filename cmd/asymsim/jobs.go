@@ -1,0 +1,280 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"asymfence"
+	"asymfence/api"
+)
+
+// jobServer implements the /v1 job service of asymsimd (`asymsim serve`
+// in daemon mode): it accepts batches of simulation jobs over HTTP,
+// runs them on a bounded worker pool against the process-wide
+// measurement cache (and the persistent store when one is attached),
+// and serves per-job progress and results until the daemon exits.
+// All submissions share one semaphore, one cache and one store handle,
+// so repeated or overlapping submissions resolve as cache or store
+// hits instead of re-simulating.
+type jobServer struct {
+	ctx   context.Context
+	sem   chan struct{}
+	store *asymfence.MeasurementStore
+	reg   *asymfence.MetricsRegistry
+	ring  *progressRing
+
+	mu     sync.Mutex
+	nextID int
+	sets   map[string]*jobSet
+}
+
+// jobSet tracks one submission's jobs through their lifecycle.
+type jobSet struct {
+	mu       sync.Mutex
+	statuses []api.JobStatus
+	pending  int
+}
+
+// newJobServer returns a job service running jobs under ctx with at
+// most workers concurrent simulations (<=0: GOMAXPROCS). store may be
+// nil (no persistence).
+func newJobServer(ctx context.Context, workers int, store *asymfence.MeasurementStore,
+	reg *asymfence.MetricsRegistry, ring *progressRing) *jobServer {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &jobServer{
+		ctx:   ctx,
+		sem:   make(chan struct{}, workers),
+		store: store,
+		reg:   reg,
+		ring:  ring,
+		sets:  make(map[string]*jobSet),
+	}
+}
+
+// register installs the /v1 endpoints on mux.
+func (s *jobServer) register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /"+api.Version+"/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /"+api.Version+"/store/stats", s.handleStoreStats)
+}
+
+// writeJSON writes v as the response body with the given status.
+// Marshaling happens before the header goes out, so an unencodable
+// value surfaces as a 500 instead of a silent empty 200.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(api.Error{Error: "encoding response: " + err.Error()})
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+// writeError writes an api.Error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, api.Error{Error: fmt.Sprintf(format, args...)})
+}
+
+// validateJob resolves a wire job to a SimJob, rejecting unknown
+// groups, apps and designs before anything runs and filling the
+// documented server defaults for zero sizing fields (8 cores, full
+// scale, 60k-cycle horizon) — a zero ustm horizon would otherwise mean
+// a degenerate zero-cycle run.
+func validateJob(j api.Job) (asymfence.SimJob, api.Job, error) {
+	if j.Cores <= 0 {
+		j.Cores = 8
+	}
+	if j.Group == "ustm" {
+		j.Scale = 0
+		if j.Horizon <= 0 {
+			j.Horizon = 60_000
+		}
+	} else {
+		j.Horizon = 0
+		if j.Scale <= 0 {
+			j.Scale = 1
+		}
+	}
+	apps := asymfence.WorkloadApps(j.Group)
+	if apps == nil {
+		return asymfence.SimJob{}, j, fmt.Errorf("unknown group %q (valid: %v)", j.Group, asymfence.WorkloadGroups)
+	}
+	found := false
+	for _, a := range apps {
+		if a == j.App {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return asymfence.SimJob{}, j, fmt.Errorf("unknown app %q in group %q (valid: %v)", j.App, j.Group, apps)
+	}
+	d, err := asymfence.ParseDesign(j.Design)
+	if err != nil {
+		return asymfence.SimJob{}, j, err
+	}
+	j.Design = d.String()
+	return asymfence.SimJob{
+		Group: j.Group, App: j.App, Design: d,
+		Cores: j.Cores, Scale: j.Scale, Horizon: j.Horizon,
+	}, j, nil
+}
+
+// handleSubmit accepts a SubmitRequest, validates every job, and
+// starts the batch asynchronously. Validation is all-or-nothing: a bad
+// job rejects the whole submission with 400 and runs nothing.
+func (s *jobServer) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var sr api.SubmitRequest
+	if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(sr.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty job list")
+		return
+	}
+	sims := make([]asymfence.SimJob, len(sr.Jobs))
+	set := &jobSet{statuses: make([]api.JobStatus, len(sr.Jobs)), pending: len(sr.Jobs)}
+	for i, j := range sr.Jobs {
+		sim, canon, err := validateJob(j)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "job %d: %v", i, err)
+			return
+		}
+		sims[i] = sim
+		set.statuses[i] = api.JobStatus{Job: canon, State: api.JobPending}
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("set-%d", s.nextID)
+	s.sets[id] = set
+	s.mu.Unlock()
+
+	for i := range sims {
+		go s.runJob(set, i, sims[i])
+	}
+	writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: id, Jobs: len(sr.Jobs)})
+}
+
+// runJob executes one job of a set as a single-element batch, so the
+// per-job accounting (simulated vs cache vs store) is exact. It blocks
+// on the daemon-wide semaphore, keeping total concurrency bounded
+// however many sets are in flight.
+func (s *jobServer) runJob(set *jobSet, i int, sim asymfence.SimJob) {
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-s.ctx.Done():
+		set.finish(i, nil, "", s.ctx.Err())
+		return
+	}
+	set.setState(i, api.JobRunning)
+
+	var stats asymfence.RunStats
+	ms, err := asymfence.RunBatch(s.ctx, []asymfence.SimJob{sim}, asymfence.BatchOptions{
+		RunConfig: asymfence.RunConfig{
+			Jobs: 1, Progress: s.ring, Stats: &stats, Metrics: s.reg, Store: s.store,
+		},
+	})
+	if err != nil {
+		set.finish(i, nil, "", err)
+		return
+	}
+	source := "simulated"
+	switch {
+	case stats.CacheHits > 0:
+		source = "cache hit"
+	case stats.StoreHits > 0:
+		source = "store hit"
+	}
+	set.finish(i, wireMeasurement(ms[0]), source, nil)
+}
+
+// setState moves job i to st (unless already terminal).
+func (js *jobSet) setState(i int, st api.JobState) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	js.statuses[i].State = st
+}
+
+// finish records job i's terminal state.
+func (js *jobSet) finish(i int, m *api.Measurement, source string, err error) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if err != nil {
+		js.statuses[i].State = api.JobFailed
+		js.statuses[i].Error = err.Error()
+	} else {
+		js.statuses[i].State = api.JobDone
+		js.statuses[i].Source = source
+		js.statuses[i].Result = m
+	}
+	js.pending--
+}
+
+// snapshot returns the set's current wire view.
+func (js *jobSet) snapshot(id string) api.JobSet {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return api.JobSet{
+		ID:   id,
+		Jobs: append([]api.JobStatus(nil), js.statuses...),
+		Done: js.pending == 0,
+	}
+}
+
+// wireMeasurement compacts a full measurement to its wire form.
+func wireMeasurement(m *asymfence.WorkloadMeasurement) *api.Measurement {
+	out := &api.Measurement{
+		Cycles:     m.Cycles,
+		Commits:    m.Commits,
+		Throughput: m.Throughput(),
+		Busy:       m.Busy,
+		FenceStall: m.FenceStall,
+		OtherStall: m.OtherStall,
+	}
+	if m.Agg != nil {
+		out.SFences = m.Agg.SFences
+		out.WFences = m.Agg.WFences
+		out.Recoveries = m.Agg.Recoveries
+	}
+	return out
+}
+
+// handleGet serves one job set's progress and results.
+func (s *jobServer) handleGet(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	s.mu.Lock()
+	set := s.sets[id]
+	s.mu.Unlock()
+	if set == nil {
+		writeError(w, http.StatusNotFound, "unknown job set %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, set.snapshot(id))
+}
+
+// handleStoreStats reports the persistent store's occupancy and
+// traffic (zeroes with Enabled=false when the daemon has no store).
+func (s *jobServer) handleStoreStats(w http.ResponseWriter, req *http.Request) {
+	out := api.StoreStats{}
+	if s.store != nil {
+		st := s.store.Stats()
+		out = api.StoreStats{
+			Enabled: true, Dir: s.store.Dir(),
+			Records: st.Records, Bytes: st.Bytes,
+			Hits: st.Hits, Misses: st.Misses, Writes: st.Writes,
+			Evictions: st.Evictions, Corrupt: st.Corrupt,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

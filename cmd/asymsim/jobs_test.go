@@ -1,0 +1,181 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"asymfence"
+	"asymfence/api"
+)
+
+// startDaemon wires a full asymsimd handler (job service + store) on an
+// httptest server, as `asymsim serve -store dir` would.
+func startDaemon(t *testing.T, ctx context.Context, dir string) (*httptest.Server, *asymfence.MeasurementStore) {
+	t.Helper()
+	reg := asymfence.NewMetricsRegistry()
+	ring := newProgressRing(64)
+	var st *asymfence.MeasurementStore
+	if dir != "" {
+		var err error
+		st, err = asymfence.OpenStore(dir, asymfence.StoreOptions{Metrics: reg})
+		if err != nil {
+			t.Fatalf("OpenStore: %v", err)
+		}
+		t.Cleanup(func() { st.Close() })
+	}
+	js := newJobServer(ctx, 2, st, reg, ring)
+	srv := httptest.NewServer(serveMux(reg, ring, js))
+	t.Cleanup(srv.Close)
+	return srv, st
+}
+
+// quickJobs is a small batch that exercises two groups, two designs,
+// and the server-side sizing defaults (the last job's zero horizon
+// must become a real 60k-cycle run, not a degenerate zero-cycle one
+// whose NaN throughput would be unencodable).
+func quickJobs() []api.Job {
+	return []api.Job{
+		{Group: "ustm", App: "Counter", Design: "S+", Cores: 4, Horizon: 3000},
+		{Group: "ustm", App: "Counter", Design: "Wee", Cores: 4, Horizon: 3000},
+		{Group: "cilk", App: "fib", Design: "Wee", Cores: 4, Scale: 0.05},
+		{Group: "ustm", App: "Hash", Design: "S+", Cores: 4},
+	}
+}
+
+// TestSubmitPollResultEndToEnd drives the whole client/server protocol:
+// submit a batch, poll to completion, check every result, then verify a
+// resubmission is served without simulating and the store endpoint
+// reports the persisted records.
+func TestSubmitPollResultEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	asymfence.FlushSimCache()
+	srv, st := startDaemon(t, ctx, t.TempDir())
+
+	jobs := quickJobs()
+	set, err := submitAndWait(ctx, srv.URL, jobs, 10*time.Millisecond, io.Discard)
+	if err != nil {
+		t.Fatalf("submitAndWait: %v", err)
+	}
+	if !set.Done || len(set.Jobs) != len(jobs) {
+		t.Fatalf("set = %+v, want %d done jobs", set, len(jobs))
+	}
+	for i, js := range set.Jobs {
+		if js.State != api.JobDone {
+			t.Fatalf("job %d state = %s (%s), want done", i, js.State, js.Error)
+		}
+		if js.Source != "simulated" {
+			t.Errorf("job %d source = %q, want simulated on a cold daemon", i, js.Source)
+		}
+		if js.Result == nil || js.Result.Cycles <= 0 {
+			t.Fatalf("job %d result = %+v, want positive cycles", i, js.Result)
+		}
+		if js.Job.Group == "ustm" && js.Result.Commits == 0 {
+			t.Errorf("job %d: ustm run committed no transactions", i)
+		}
+	}
+	if set.Jobs[0].Result.Cycles == set.Jobs[1].Result.Cycles &&
+		set.Jobs[0].Result.SFences == set.Jobs[1].Result.SFences {
+		t.Errorf("S+ and Wee produced identical measurements; designs not honored")
+	}
+	if last := set.Jobs[3]; last.Job.Horizon != 60_000 || last.Result.Cycles < 60_000 ||
+		last.Result.Throughput <= 0 {
+		t.Errorf("zero-horizon job = %+v with result %+v, want the 60k-cycle server default",
+			last.Job, last.Result)
+	}
+
+	// Same batch again: the daemon's shared cache serves every job.
+	again, err := submitAndWait(ctx, srv.URL, jobs, 10*time.Millisecond, io.Discard)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	for i, js := range again.Jobs {
+		if js.State != api.JobDone || js.Source != "cache hit" {
+			t.Fatalf("resubmitted job %d = (%s, %q), want done cache hit", i, js.State, js.Source)
+		}
+		if *js.Result != *set.Jobs[i].Result {
+			t.Fatalf("resubmitted job %d result differs:\ncold: %+v\nwarm: %+v", i, set.Jobs[i].Result, js.Result)
+		}
+	}
+
+	// The store has absorbed the simulated measurements.
+	st.Flush()
+	var ss api.StoreStats
+	getJSON(t, srv.URL+"/v1/store/stats", &ss)
+	if !ss.Enabled || ss.Records != len(jobs) || ss.Writes != int64(len(jobs)) {
+		t.Fatalf("store stats = %+v, want enabled with %d records", ss, len(jobs))
+	}
+}
+
+// TestSubmitValidationAndErrors checks the 4xx surface: bad body,
+// empty batch, unknown workload/design, unknown job set.
+func TestSubmitValidationAndErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv, _ := startDaemon(t, ctx, "")
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /v1/jobs: %v", err)
+		}
+		defer resp.Body.Close()
+		var ae api.Error
+		json.NewDecoder(resp.Body).Decode(&ae)
+		return resp.StatusCode, ae.Error
+	}
+
+	for _, tc := range []struct {
+		body, wantErr string
+	}{
+		{"{not json", "bad request body"},
+		{`{"jobs":[]}`, "empty job list"},
+		{`{"jobs":[{"group":"nope","app":"fib","design":"S+"}]}`, "unknown group"},
+		{`{"jobs":[{"group":"cilk","app":"nope","design":"S+"}]}`, "unknown app"},
+		{`{"jobs":[{"group":"cilk","app":"fib","design":"nope"}]}`, "design"},
+	} {
+		code, msg := post(tc.body)
+		if code != http.StatusBadRequest || !strings.Contains(msg, tc.wantErr) {
+			t.Errorf("POST %q = (%d, %q), want 400 containing %q", tc.body, code, msg, tc.wantErr)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/set-999")
+	if err != nil {
+		t.Fatalf("GET unknown set: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown set = %d, want 404", resp.StatusCode)
+	}
+
+	// Without -store the stats endpoint still answers, disabled.
+	var ss api.StoreStats
+	getJSON(t, srv.URL+"/v1/store/stats", &ss)
+	if ss.Enabled || ss.Records != 0 {
+		t.Errorf("store stats without a store = %+v, want disabled zeroes", ss)
+	}
+}
+
+// getJSON GETs url and decodes the 200 body into out.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}

@@ -9,7 +9,9 @@
 //	asymsim [flags] run <group>:<app>      one workload under every design
 //	asymsim trace <group>:<app> [flags]    traced run (Perfetto/JSONL export)
 //	asymsim bench [flags]                  machine-readable perf snapshot
-//	asymsim serve [flags] [experiment]     run with a live observability server
+//	asymsim serve [flags] <experiment>     run with a live observability server
+//	asymsim serve [flags]                  asymsimd: /v1 job-service daemon
+//	asymsim submit [flags] <group>:<app>   submit jobs to asymsimd and wait
 //	asymsim fuzz [flags]                   litmus-fuzz under invariant checkers
 //
 // where <experiment> is one of fig8, fig9, fig10, fig11, fig12, table4,
@@ -54,6 +56,17 @@
 //
 //	asymsim serve -listen :6060 all
 //	curl localhost:6060/metrics?format=json
+//
+// The experiment and serve paths accept -store dir, the persistent
+// content-addressed measurement store: warm configurations load from
+// disk instead of re-simulating, across process restarts, with
+// byte-identical tables. Without an experiment argument, serve runs as
+// asymsimd — a long-lived daemon mounting the versioned /v1 job
+// service (wire schema in package api) — and the submit subcommand is
+// its client:
+//
+//	asymsim serve -store /var/cache/asymsim &
+//	asymsim submit cilk:fib ustm:List
 package main
 
 import (
@@ -88,6 +101,8 @@ func main() {
 			os.Exit(fuzzCmd(ctx, os.Args[2:]))
 		case "serve":
 			os.Exit(serveCmd(ctx, os.Args[2:]))
+		case "submit":
+			os.Exit(submitCmd(ctx, os.Args[2:]))
 		}
 	}
 
@@ -100,6 +115,7 @@ func main() {
 	md := flag.Bool("md", false, "emit markdown tables")
 	list := flag.Bool("list", false, "list experiment ids with descriptions and exit")
 	metricsOut := flag.String("metrics", "", "write the run's metrics snapshot to this file as JSON (\"-\" = stdout)")
+	storeDir := flag.String("store", "", "persistent measurement store directory (warm configs load from disk instead of re-simulating)")
 	version := flag.Bool("version", false, "print build provenance and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: asymsim [flags] <experiment>\n"+
@@ -160,8 +176,11 @@ func main() {
 	var stats asymfence.RunStats
 	start := time.Now()
 	tables, err := exp.Run(ctx, asymfence.Options{
+		RunConfig: asymfence.RunConfig{
+			Jobs: workers, Progress: progress, Stats: &stats, Metrics: reg,
+			StoreDir: *storeDir,
+		},
 		Cores: *cores, Scale: *scale, Horizon: *horizon,
-		Jobs: workers, Progress: progress, Stats: &stats, Metrics: reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "asymsim:", err)
@@ -181,6 +200,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "asymsim:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "asymsim: %s: %d jobs (%d simulated, %d cache hits) in %s\n",
-		id, stats.Jobs, stats.Simulated, stats.CacheHits, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "asymsim: %s: %d jobs (%d simulated, %d cache hits, %d store hits) in %s\n",
+		id, stats.Jobs, stats.Simulated, stats.CacheHits, stats.StoreHits, time.Since(start).Round(time.Millisecond))
 }

@@ -35,7 +35,7 @@ func runOne(ctx context.Context, spec string, cores int, scale float64, horizon 
 		progress = os.Stderr
 	}
 	ms, err := asymfence.RunBatch(ctx, jobs, asymfence.BatchOptions{
-		Jobs: workers, Progress: progress, Metrics: reg,
+		RunConfig: asymfence.RunConfig{Jobs: workers, Progress: progress, Metrics: reg},
 	})
 	if err != nil {
 		return err

@@ -70,8 +70,9 @@ func (r *progressRing) Snapshot() ([]string, int) {
 // serveMux builds the observability HTTP handler: /metrics (Prometheus
 // text by default, ?format=json for the JSON snapshot), /debug/pprof/*
 // (the Go profiler), /progress (the live batch progress tail) and a
-// root index page.
-func serveMux(reg *asymfence.MetricsRegistry, ring *progressRing) *http.ServeMux {
+// root index page. A non-nil jobs server additionally mounts the /v1
+// job-service endpoints (see the api package).
+func serveMux(reg *asymfence.MetricsRegistry, ring *progressRing, js *jobServer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Query().Get("format") == "json" {
@@ -90,6 +91,9 @@ func serveMux(reg *asymfence.MetricsRegistry, ring *progressRing) *http.ServeMux
 			fmt.Fprintln(w, l)
 		}
 	})
+	if js != nil {
+		js.register(mux)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -106,15 +110,25 @@ func serveMux(reg *asymfence.MetricsRegistry, ring *progressRing) *http.ServeMux
 			"  /metrics?format=json  deterministic JSON snapshot\n"+
 			"  /progress             live batch progress tail\n"+
 			"  /debug/pprof/         Go profiler\n", buildinfo.Get())
+		if js != nil {
+			fmt.Fprint(w, "  POST /v1/jobs         submit a simulation batch (api.SubmitRequest)\n"+
+				"  GET  /v1/jobs/{id}    poll a job set's progress and results\n"+
+				"  GET  /v1/store/stats  persistent-store occupancy and traffic\n")
+		}
 	})
 	return mux
 }
 
-// serveCmd handles `asymsim serve`: it starts the observability HTTP
-// server, then runs an experiment (default "all") with the shared
-// metrics registry attached, so /metrics and /debug/pprof can be
-// scraped while the batch executes. The server shuts down when the run
-// completes unless -hold keeps it up until interrupt.
+// serveCmd handles `asymsim serve`. With an experiment argument it
+// starts the observability HTTP server, then runs that experiment with
+// the shared metrics registry attached, so /metrics and /debug/pprof
+// can be scraped while the batch executes; the server shuts down when
+// the run completes unless -hold keeps it up until interrupt. With no
+// argument it runs as asymsimd — a long-lived simulation daemon that
+// additionally mounts the /v1 job service (submit batches with
+// `asymsim submit` or POST /v1/jobs) and serves until interrupted.
+// In either mode -store attaches the persistent measurement store, so
+// warm configurations are served from disk across daemon restarts.
 func serveCmd(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("asymsim serve", flag.ExitOnError)
 	listen := fs.String("listen", ":6060", "HTTP listen address")
@@ -124,10 +138,12 @@ func serveCmd(ctx context.Context, args []string) int {
 	jobs := fs.Int("j", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 	quiet := fs.Bool("q", false, "suppress per-job progress lines on stderr (/progress still updates)")
 	hold := fs.Bool("hold", false, "keep serving after the run completes, until interrupted")
+	storeDir := fs.String("store", "", "persistent measurement store directory (warm configs load from disk)")
 	metricsOut := fs.String("metrics", "", "also write the final metrics snapshot to this file as JSON (\"-\" = stdout)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: asymsim serve [flags] [experiment]\n"+
-			"       e.g. asymsim serve -listen :6060 all\n\nflags:\n")
+			"       e.g. asymsim serve -listen :6060 all    (run one experiment, observable)\n"+
+			"            asymsim serve -store /var/asymsim  (asymsimd: /v1 job service until interrupt)\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -135,15 +151,18 @@ func serveCmd(ctx context.Context, args []string) int {
 		fs.Usage()
 		return 2
 	}
-	id := "all"
-	if fs.NArg() == 1 {
+	daemon := fs.NArg() == 0
+	var exp asymfence.Experiment
+	id := ""
+	if !daemon {
 		id = fs.Arg(0)
-	}
-	exp, ok := asymfence.LookupExperiment(id)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "asymsim serve: unknown experiment %q (valid: %v)\n",
-			id, asymfence.ExperimentIDs)
-		return 2
+		var ok bool
+		exp, ok = asymfence.LookupExperiment(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "asymsim serve: unknown experiment %q (valid: %v)\n",
+				id, asymfence.ExperimentIDs)
+			return 2
+		}
 	}
 
 	reg := asymfence.NewMetricsRegistry()
@@ -153,45 +172,70 @@ func serveCmd(ctx context.Context, args []string) int {
 	reg.SetMeta("go", bi.GoVersion)
 	ring := newProgressRing(256)
 
+	var st *asymfence.MeasurementStore
+	if *storeDir != "" {
+		var err error
+		st, err = asymfence.OpenStore(*storeDir, asymfence.StoreOptions{Metrics: reg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asymsim serve:", err)
+			return 1
+		}
+		defer st.Close()
+	}
+	var js *jobServer
+	if daemon {
+		js = newJobServer(ctx, *jobs, st, reg, ring)
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "asymsim serve:", err)
 		return 1
 	}
-	srv := &http.Server{Handler: serveMux(reg, ring)}
+	srv := &http.Server{Handler: serveMux(reg, ring, js)}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "asymsim serve: listening on http://%s (metrics, progress, debug/pprof)\n",
-		hostport(ln.Addr().String()))
 
-	progress := io.Writer(ring)
-	if !*quiet {
-		progress = io.MultiWriter(os.Stderr, ring)
-	}
-	var stats asymfence.RunStats
-	start := time.Now()
-	tables, runErr := exp.Run(ctx, asymfence.Options{
-		Cores: *cores, Scale: *scale, Horizon: *horizon,
-		Jobs: *jobs, Progress: progress, Stats: &stats, Metrics: reg,
-	})
 	exitCode := 0
-	if runErr != nil {
-		fmt.Fprintln(os.Stderr, "asymsim serve:", runErr)
-		exitCode = 1
-		if errors.Is(runErr, context.Canceled) {
-			exitCode = 130
-		}
-	} else {
-		for _, t := range tables {
-			fmt.Println(t.String())
-		}
-		fmt.Fprintf(os.Stderr, "asymsim serve: %s: %d jobs (%d simulated, %d cache hits) in %s\n",
-			id, stats.Jobs, stats.Simulated, stats.CacheHits, time.Since(start).Round(time.Millisecond))
-	}
-
-	if *hold && exitCode == 0 {
-		fmt.Fprintln(os.Stderr, "asymsim serve: run complete; still serving (interrupt to exit)")
+	if daemon {
+		fmt.Fprintf(os.Stderr, "asymsimd: listening on http://%s (POST /v1/jobs; metrics, progress, debug/pprof; interrupt to exit)\n",
+			hostport(ln.Addr().String()))
 		<-ctx.Done()
+	} else {
+		fmt.Fprintf(os.Stderr, "asymsim serve: listening on http://%s (metrics, progress, debug/pprof)\n",
+			hostport(ln.Addr().String()))
+
+		progress := io.Writer(ring)
+		if !*quiet {
+			progress = io.MultiWriter(os.Stderr, ring)
+		}
+		var stats asymfence.RunStats
+		start := time.Now()
+		tables, runErr := exp.Run(ctx, asymfence.Options{
+			RunConfig: asymfence.RunConfig{
+				Jobs: *jobs, Progress: progress, Stats: &stats, Metrics: reg, Store: st,
+			},
+			Cores: *cores, Scale: *scale, Horizon: *horizon,
+		})
+		if runErr != nil {
+			fmt.Fprintln(os.Stderr, "asymsim serve:", runErr)
+			exitCode = 1
+			if errors.Is(runErr, context.Canceled) {
+				exitCode = 130
+			}
+		} else {
+			for _, t := range tables {
+				fmt.Println(t.String())
+			}
+			fmt.Fprintf(os.Stderr, "asymsim serve: %s: %d jobs (%d simulated, %d cache hits, %d store hits) in %s\n",
+				id, stats.Jobs, stats.Simulated, stats.CacheHits, stats.StoreHits,
+				time.Since(start).Round(time.Millisecond))
+		}
+
+		if *hold && exitCode == 0 {
+			fmt.Fprintln(os.Stderr, "asymsim serve: run complete; still serving (interrupt to exit)")
+			<-ctx.Done()
+		}
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()

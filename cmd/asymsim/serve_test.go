@@ -40,7 +40,7 @@ func TestServeMuxEndpoints(t *testing.T) {
 	ring := newProgressRing(8)
 	io.WriteString(ring, "job 1/2 done\n")
 
-	srv := httptest.NewServer(serveMux(reg, ring))
+	srv := httptest.NewServer(serveMux(reg, ring, nil))
 	defer srv.Close()
 
 	get := func(path string) (int, string, string) {

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"asymfence"
+	"asymfence/api"
+)
+
+// submitCmd handles `asymsim submit`: the client half of the /v1 job
+// service. It submits a batch of (group:app under every design, or one
+// -design) jobs to a running asymsimd, polls the job set until every
+// job reaches a terminal state, and prints one result line per job.
+func submitCmd(ctx context.Context, args []string) int {
+	fs := flag.NewFlagSet("asymsim submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:6060", "asymsimd base URL")
+	design := fs.String("design", "", "run only this design (default: all designs incl. C-Fence)")
+	cores := fs.Int("cores", 8, "core count (power of two)")
+	scale := fs.Float64("scale", 0.25, "execution-time run scale")
+	horizon := fs.Int64("horizon", 0, "throughput-run length in cycles (0 = server default)")
+	interval := fs.Duration("poll", 200*time.Millisecond, "poll interval")
+	quiet := fs.Bool("q", false, "suppress progress lines on stderr")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: asymsim submit [flags] <group>:<app> [<group>:<app> ...]\n"+
+			"       e.g. asymsim submit -addr http://localhost:6060 cilk:fib ustm:List\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	var designs []string
+	if *design != "" {
+		designs = []string{*design}
+	} else {
+		for _, d := range append(asymfence.AllDesigns, asymfence.CFenceDesign) {
+			designs = append(designs, d.String())
+		}
+	}
+	var jobs []api.Job
+	for _, spec := range fs.Args() {
+		group, app, ok := strings.Cut(spec, ":")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "asymsim submit: workload spec must be <group>:<app>, got %q\n", spec)
+			return 2
+		}
+		for _, d := range designs {
+			jobs = append(jobs, api.Job{
+				Group: group, App: app, Design: d,
+				Cores: *cores, Scale: *scale, Horizon: *horizon,
+			})
+		}
+	}
+
+	set, err := submitAndWait(ctx, *addr, jobs, *interval, progressWriter(*quiet))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asymsim submit:", err)
+		return 1
+	}
+	failed := 0
+	for _, js := range set.Jobs {
+		j := js.Job
+		switch js.State {
+		case api.JobDone:
+			m := js.Result
+			fmt.Printf("%-6s %-10s %-8s cycles=%-9d txn/Mcyc=%-8.0f busy=%5.1f%% fence=%5.1f%% sf=%d wf=%d  (%s)\n",
+				j.Group, j.App, j.Design, m.Cycles, m.Throughput,
+				100*m.Busy, 100*m.FenceStall, m.SFences, m.WFences, js.Source)
+		default:
+			failed++
+			fmt.Printf("%-6s %-10s %-8s FAILED: %s\n", j.Group, j.App, j.Design, js.Error)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "asymsim submit: %d/%d jobs failed\n", failed, len(set.Jobs))
+		return 1
+	}
+	return 0
+}
+
+// progressWriter returns stderr unless quiet.
+func progressWriter(quiet bool) io.Writer {
+	if quiet {
+		return io.Discard
+	}
+	return os.Stderr
+}
+
+// submitAndWait posts one job batch to an asymsimd at base and polls
+// its job set every interval until done (or ctx cancels). It is the
+// whole client protocol in one function, shared by the CLI and the
+// end-to-end test.
+func submitAndWait(ctx context.Context, base string, jobs []api.Job,
+	interval time.Duration, progress io.Writer) (*api.JobSet, error) {
+
+	base = strings.TrimSuffix(base, "/")
+	body, err := json.Marshal(api.SubmitRequest{Jobs: jobs})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", base+"/"+api.Version+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var sub api.SubmitResponse
+	if err := doJSON(req, http.StatusAccepted, &sub); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(progress, "asymsim submit: %s accepted (%d jobs)\n", sub.ID, sub.Jobs)
+
+	lastDone := -1
+	for {
+		req, err := http.NewRequestWithContext(ctx, "GET", base+"/"+api.Version+"/jobs/"+sub.ID, nil)
+		if err != nil {
+			return nil, err
+		}
+		var set api.JobSet
+		if err := doJSON(req, http.StatusOK, &set); err != nil {
+			return nil, err
+		}
+		done := 0
+		for _, js := range set.Jobs {
+			if js.State == api.JobDone || js.State == api.JobFailed {
+				done++
+			}
+		}
+		if done != lastDone {
+			fmt.Fprintf(progress, "asymsim submit: %s %d/%d jobs done\n", sub.ID, done, len(set.Jobs))
+			lastDone = done
+		}
+		if set.Done {
+			return &set, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// doJSON executes req, enforces the expected status (decoding an
+// api.Error body otherwise) and decodes the response into out.
+func doJSON(req *http.Request, wantStatus int, out any) error {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var ae api.Error
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, ae.Error)
+		}
+		return fmt.Errorf("%s %s: %s", req.Method, req.URL, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

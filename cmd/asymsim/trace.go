@@ -67,9 +67,9 @@ func traceCmd(ctx context.Context, args []string) int {
 
 	reg := newCLIMetrics(*metricsOut)
 	res, err := asymfence.TraceWorkload(ctx, group, app, d, asymfence.TraceOptions{
-		Cores: *cores, Scale: *scale, Horizon: *horizon,
+		RunConfig: asymfence.RunConfig{Metrics: reg},
+		Cores:     *cores, Scale: *scale, Horizon: *horizon,
 		Mask: mask, MaxEvents: *maxEvents, SampleInterval: *interval,
-		Metrics: reg,
 	})
 	if err != nil {
 		// A DeadlockError's message already carries the full per-core

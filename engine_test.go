@@ -128,7 +128,10 @@ func TestRunCancellation(t *testing.T) {
 		cancel()
 	}()
 	start = time.Now()
-	_, err = e.Run(ctx, asymfence.Options{Cores: 8, Scale: 1, Horizon: 60_000, Jobs: 2})
+	_, err = e.Run(ctx, asymfence.Options{
+		RunConfig: asymfence.RunConfig{Jobs: 2},
+		Cores:     8, Scale: 1, Horizon: 60_000,
+	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("mid-run cancel error = %v, want wrapped context.Canceled", err)
 	}

@@ -3,7 +3,6 @@ package asymfence
 import (
 	"context"
 	"fmt"
-	"io"
 
 	"asymfence/internal/experiments"
 )
@@ -11,13 +10,18 @@ import (
 // ExperimentTable is a rendered experiment result.
 type ExperimentTable = experiments.Table
 
-// Options tune the experiment harness. Every field uses "unset means
+// Options tune the experiment harness. The embedded RunConfig carries
+// the execution environment shared by every entry point (worker pool,
+// progress, accounting, metrics, persistent store); the fields here
+// size the experiments themselves. Every field uses "unset means
 // default" semantics with an explicit sentinel: numeric fields are
 // overridden only when positive (<=0 selects the default, so a caller
 // can spell "use the default" as the zero value without it colliding
 // with a real configuration), and slice/pointer fields default when
 // nil or empty.
 type Options struct {
+	RunConfig
+
 	// Cores is the simulated core count (<=0: the paper's 8, Table 2).
 	Cores int
 	// Scale shrinks execution-time runs (<=0: 1.0 = full size; e.g.
@@ -27,27 +31,7 @@ type Options struct {
 	Horizon int64
 	// CoreCounts is the scalability study's sweep (empty: 4, 8, 16, 32).
 	CoreCounts []int
-	// Jobs bounds the simulation worker pool (<=0: GOMAXPROCS;
-	// 1: fully sequential execution). Tables are byte-identical at any
-	// setting; only wall-clock changes.
-	Jobs int
-	// Progress, when non-nil, receives per-job progress lines
-	// (done/total, cache hits, elapsed) while the run executes.
-	Progress io.Writer
-	// Stats, when non-nil, is filled with the run's job accounting on
-	// return (including on error).
-	Stats *RunStats
-	// Metrics, when non-nil, receives the run's machine and engine
-	// counters (see MetricsRegistry). Sharing one registry across
-	// concurrent jobs is safe; the deterministic sections of its
-	// snapshots are identical at any Jobs setting.
-	Metrics *MetricsRegistry
 }
-
-// ExperimentOptions is the old name of Options.
-//
-// Deprecated: use Options.
-type ExperimentOptions = Options
 
 // withDefaults resolves the sentinel fields; see Options.
 func (o Options) withDefaults() Options {
@@ -66,24 +50,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// RunStats summarizes the engine's job accounting for one experiment
-// run.
-type RunStats struct {
-	// Jobs is the number of simulation jobs the run submitted.
-	Jobs int
-	// CacheHits of those were served from the shared measurement cache
-	// (or joined an identical in-flight job) without simulating.
-	CacheHits int
-	// Simulated jobs actually executed.
-	Simulated int
-}
-
 // Experiment is one regenerable artifact of the paper's evaluation: a
 // typed registry entry carrying its id, a one-line description, the
 // paper artifact it reproduces, and the code that runs it. Obtain
 // entries from Experiments or LookupExperiment.
 type Experiment struct {
-	// ID is the CLI/RunExperiment identifier ("fig8", ..., "all").
+	// ID is the CLI/LookupExperiment identifier ("fig8", ..., "all").
 	ID string
 	// Description is a one-line summary of the regenerated artifact.
 	Description string
@@ -95,28 +67,34 @@ type Experiment struct {
 	run func(ctx context.Context, eng *experiments.Engine, o Options) ([]*ExperimentTable, error)
 }
 
-// ExperimentInfo is the old name of Experiment.
-//
-// Deprecated: use Experiment.
-type ExperimentInfo = Experiment
-
 // Run regenerates the artifact and returns its table(s). Simulation
-// jobs execute on a bounded worker pool (Options.Jobs) against the
-// process-wide measurement cache; results merge deterministically, so
-// output is byte-identical at any parallelism. Cancel ctx to abort:
-// the error then wraps context.Canceled.
+// jobs execute on a bounded worker pool (RunConfig.Jobs) against the
+// process-wide measurement cache, backed by the persistent store when
+// RunConfig.Store/StoreDir is set; results merge deterministically, so
+// output is byte-identical at any parallelism and whether a job
+// simulated or loaded from either tier. Cancel ctx to abort: the error
+// then wraps context.Canceled.
 func (e Experiment) Run(ctx context.Context, opts Options) ([]*ExperimentTable, error) {
 	if e.run == nil {
 		return nil, fmt.Errorf("asymfence: zero Experiment value (obtain entries from Experiments or LookupExperiment)")
 	}
 	o := opts.withDefaults()
+	st, opened, err := o.resolveStore()
+	if err != nil {
+		return nil, fmt.Errorf("asymfence: %s: %w", e.ID, err)
+	}
 	eng := experiments.NewEngine(experiments.EngineOptions{
-		Workers: o.Jobs, Progress: o.Progress, Metrics: o.Metrics,
+		Workers: o.Jobs, Progress: o.Progress, Metrics: o.Metrics, Store: st,
 	})
 	tables, err := e.run(ctx, eng, o)
 	if opts.Stats != nil {
-		st := eng.Stats()
-		*opts.Stats = RunStats{Jobs: st.Jobs, CacheHits: st.Hits, Simulated: st.Simulated}
+		es := eng.Stats()
+		*opts.Stats = RunStats{Jobs: es.Jobs, CacheHits: es.Hits, StoreHits: es.StoreHits, Simulated: es.Simulated}
+	}
+	if opened {
+		if cerr := st.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("asymfence: %s: %w", e.ID, err)
@@ -133,8 +111,8 @@ func one(t *ExperimentTable, err error) ([]*ExperimentTable, error) {
 }
 
 // registry is the single source of truth for experiment discovery and
-// dispatch: ExperimentIDs, Experiments, LookupExperiment, RunExperiment
-// and the CLI's -list output all derive from it. "all" is a first-class
+// dispatch: ExperimentIDs, Experiments, LookupExperiment and the CLI's
+// -list output all derive from it. "all" is a first-class
 // entry so listing and dispatch cannot drift. (Filled by init: the
 // "all" entry iterates the registry, which Go's initializer-cycle
 // check would otherwise reject.)
@@ -256,21 +234,6 @@ func LookupExperiment(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
-}
-
-// RunExperiment regenerates one of the paper's evaluation artifacts and
-// returns its table(s). Valid ids are listed in ExperimentIDs; DESIGN.md
-// §5 maps each to its paper figure/table and reference result.
-//
-// Deprecated: resolve the experiment with LookupExperiment (or iterate
-// Experiments) and call its Run method, which adds context cancellation,
-// worker-pool control and job accounting.
-func RunExperiment(id string, opts ExperimentOptions) ([]*ExperimentTable, error) {
-	e, ok := LookupExperiment(id)
-	if !ok {
-		return nil, fmt.Errorf("asymfence: unknown experiment %q (valid: %v)", id, ExperimentIDs)
-	}
-	return e.Run(context.Background(), opts)
 }
 
 // FlushSimCache drops every memoized measurement from the process-wide

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 
 	"asymfence/internal/check"
 	"asymfence/internal/faults"
@@ -17,8 +16,12 @@ import (
 )
 
 // FuzzOptions configures RunFuzz. Zero fields take defaults; the zero
-// value is a usable quick-smoke configuration.
+// value is a usable quick-smoke configuration. Fuzz runs are never
+// memoized, so of the embedded RunConfig only Progress (one line per
+// completed seed) and Metrics apply.
 type FuzzOptions struct {
+	RunConfig
+
 	// Seeds is how many generator seeds to try (default 25).
 	Seeds int
 	// StartSeed is the first seed (default 1); seed s covers
@@ -37,11 +40,6 @@ type FuzzOptions struct {
 	// Designs selects the designs to run each seed under (default
 	// fence.AllDesigns — all five of the paper's designs).
 	Designs []fence.Design
-	// Progress, when non-nil, receives one line per completed seed.
-	Progress io.Writer
-	// Metrics, when non-nil, receives every fuzz run's machine counters
-	// (see MetricsRegistry).
-	Metrics *MetricsRegistry
 }
 
 // FuzzReport summarizes a RunFuzz campaign. With a fixed FuzzOptions the

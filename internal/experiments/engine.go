@@ -39,6 +39,11 @@ type EngineOptions struct {
 	Workers int
 	// Progress, when non-nil, receives per-job progress narration.
 	Progress io.Writer
+	// Store, when non-nil, is the persistent measurement tier behind
+	// the in-memory cache: memory misses read through to it, and fresh
+	// simulations are written behind into it, so warm configurations
+	// survive process restarts and are shared across concurrent runs.
+	Store *MeasurementStore
 	// Metrics, when non-nil, receives the engine's session counters
 	// (under the "engine" scope) and every simulation's machine
 	// counters (under "machine"). Nil disables both at zero cost.
@@ -59,11 +64,17 @@ func NewEngine(o EngineOptions) *Engine {
 	exec := func(ctx context.Context, s runner.Spec) (*Measurement, error) {
 		return execSpec(ctx, s, o.Metrics)
 	}
-	return &Engine{sess: runner.NewSession(sharedCache, exec, runner.Options{
+	opts := runner.Options[*Measurement]{
 		Workers:  o.Workers,
 		Narrator: trace.NewNarrator(o.Progress),
 		Metrics:  o.Metrics.Scope("engine"),
-	})}
+	}
+	if o.Store != nil {
+		// Assign only when non-nil: a typed nil inside the interface
+		// would defeat the session's tier check.
+		opts.Tier = o.Store
+	}
+	return &Engine{sess: runner.NewSession(sharedCache, exec, opts)}
 }
 
 // Stats returns the engine's cumulative job accounting (submitted,

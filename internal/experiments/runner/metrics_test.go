@@ -38,7 +38,7 @@ func TestSessionMetrics(t *testing.T) {
 	reg := metrics.NewRegistry()
 	s := NewSession(NewCache[int](), func(ctx context.Context, sp Spec) (int, error) {
 		return sp.Cores, nil
-	}, Options{Workers: 2, Metrics: reg.Scope("engine")})
+	}, Options[int]{Workers: 2, Metrics: reg.Scope("engine")})
 	specs := []Spec{{App: "a", Cores: 1}, {App: "b", Cores: 2}, {App: "a", Cores: 1}}
 	if _, err := s.Run(context.Background(), specs); err != nil {
 		t.Fatal(err)

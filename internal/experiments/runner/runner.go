@@ -118,24 +118,45 @@ func (c *Cache[V]) Flush() {
 type Stats struct {
 	// Jobs is the number of jobs submitted.
 	Jobs int
-	// Hits of those were served from the cache (or joined an identical
-	// in-flight job) without simulating.
+	// Hits of those were served from the in-memory cache (or joined an
+	// identical in-flight job) without simulating.
 	Hits int
-	// Simulated jobs actually executed. Jobs can exceed Hits+Simulated
-	// when a canceled batch skipped jobs outright.
+	// StoreHits were served from the persistent tier (Options.Tier)
+	// without simulating.
+	StoreHits int
+	// Simulated jobs actually executed. Jobs can exceed
+	// Hits+StoreHits+Simulated when a canceled batch skipped jobs
+	// outright.
 	Simulated int
 }
 
-// Options configure a Session.
-type Options struct {
+// Tier is an optional persistent second tier behind the in-memory
+// Cache: a Session consults it read-through on every memory miss and
+// stores fresh results back into it. Implementations must be safe for
+// concurrent use; Store is expected to be write-behind (it must not
+// block on durable I/O). internal/experiments.MeasurementStore adapts
+// the on-disk content-addressed store (internal/store) to this
+// interface.
+type Tier[V any] interface {
+	// Load returns the value stored under key, or ok=false on a miss.
+	Load(key string) (v V, ok bool)
+	// Store persists v under key (best-effort; a cache may drop it).
+	Store(key string, v V)
+}
+
+// Options configure a Session over result type V.
+type Options[V any] struct {
 	// Workers bounds the pool (<=0: GOMAXPROCS).
 	Workers int
 	// Narrator receives per-job progress lines (nil: silent).
 	Narrator *trace.Narrator
+	// Tier, when non-nil, is the persistent second tier consulted on
+	// memory-cache misses and filled write-behind with fresh results.
+	Tier Tier[V]
 	// Metrics, when non-nil, receives the session's counters (jobs,
-	// cache hits/misses) and — under its timing sub-scope — the
-	// wall-clock instruments (job latency, worker busy time,
-	// singleflight waits). Nil disables them at zero cost.
+	// cache hits/misses, store hits/misses) and — under its timing
+	// sub-scope — the wall-clock instruments (job latency, worker busy
+	// time, singleflight waits). Nil disables them at zero cost.
 	Metrics *metrics.Scope
 }
 
@@ -149,8 +170,10 @@ var jobLatencyBounds = []int64{
 type sessionMetrics struct {
 	// jobs/hits/misses count scheduling-independent facts (what was
 	// submitted and whether the cache had it), so they live in the
-	// deterministic section.
-	jobs, hits, misses *metrics.Counter
+	// deterministic section — as do storeHits/storeMisses, which count
+	// persistent-tier lookups by memory-miss leaders.
+	jobs, hits, misses     *metrics.Counter
+	storeHits, storeMisses *metrics.Counter
 	// waits counts joins that actually blocked on an in-flight leader —
 	// a scheduling artifact — and the remaining instruments measure
 	// wall-clock, so they all live in the timing section.
@@ -160,10 +183,13 @@ type sessionMetrics struct {
 	workers    *metrics.Gauge
 }
 
-func newSessionMetrics(s *metrics.Scope) sessionMetrics {
+// newSessionMetrics registers the session's handles. The store counters
+// are registered only when a persistent tier is wired, so snapshots of
+// store-less runs are unchanged by the tier's existence.
+func newSessionMetrics(s *metrics.Scope, tiered bool) sessionMetrics {
 	cache := s.Scope("cache")
 	timing := s.Timing()
-	return sessionMetrics{
+	mx := sessionMetrics{
 		jobs:       s.Counter("jobs"),
 		hits:       cache.Counter("hits"),
 		misses:     cache.Counter("misses"),
@@ -172,6 +198,12 @@ func newSessionMetrics(s *metrics.Scope) sessionMetrics {
 		workerBusy: timing.Counter("worker_busy_ns"),
 		workers:    timing.Gauge("workers"),
 	}
+	if tiered {
+		store := s.Scope("store")
+		mx.storeHits = store.Counter("hits")
+		mx.storeMisses = store.Counter("misses")
+	}
+	return mx
 }
 
 // Session executes job batches for one logical experiment run: it pins
@@ -182,20 +214,21 @@ type Session[V any] struct {
 	exec    func(context.Context, Spec) (V, error)
 	workers int
 	nar     *trace.Narrator
+	tier    Tier[V]
 	mx      sessionMetrics
 
-	jobs, hits, sims atomic.Int64
+	jobs, hits, storeHits, sims atomic.Int64
 }
 
 // NewSession builds a session executing jobs with exec and memoizing
 // results in cache.
-func NewSession[V any](cache *Cache[V], exec func(context.Context, Spec) (V, error), opts Options) *Session[V] {
+func NewSession[V any](cache *Cache[V], exec func(context.Context, Spec) (V, error), opts Options[V]) *Session[V] {
 	w := opts.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
 	return &Session[V]{cache: cache, exec: exec, workers: w, nar: opts.Narrator,
-		mx: newSessionMetrics(opts.Metrics)}
+		tier: opts.Tier, mx: newSessionMetrics(opts.Metrics, opts.Tier != nil)}
 }
 
 // Stats returns the session's cumulative accounting.
@@ -203,6 +236,7 @@ func (s *Session[V]) Stats() Stats {
 	return Stats{
 		Jobs:      int(s.jobs.Load()),
 		Hits:      int(s.hits.Load()),
+		StoreHits: int(s.storeHits.Load()),
 		Simulated: int(s.sims.Load()),
 	}
 }
@@ -252,7 +286,7 @@ func (s *Session[V]) Run(ctx context.Context, specs []Spec) ([]V, error) {
 					jobStart := time.Now()
 					var (
 						v   V
-						hit bool
+						src source
 						err error
 					)
 					// Per-job labels so profile samples attribute to
@@ -263,23 +297,20 @@ func (s *Session[V]) Run(ctx context.Context, specs []Spec) ([]V, error) {
 						"design", specs[i].Design.String(),
 						"cores", strconv.Itoa(specs[i].Cores),
 					), func(ctx context.Context) {
-						v, hit, err = s.one(ctx, specs[i])
+						v, src, err = s.one(ctx, specs[i])
 					})
 					s.mx.jobLatency.Observe(time.Since(jobStart).Nanoseconds())
 					results[i], errs[i] = v, err
 					done := completed.Add(1)
 					eta := etaString(batchStart, int(done), len(specs))
-					switch {
-					case err != nil:
+					if err != nil {
 						s.nar.Say("job %3d/%d  %-34s FAILED: %v", done, len(specs), specs[i], err)
 						// Fail fast: stop scheduling and interrupt running
 						// simulations. Error selection below still prefers
 						// this genuine failure over induced cancellations.
 						cancel()
-					case hit:
-						s.nar.Say("job %3d/%d  %-34s cache hit%s", done, len(specs), specs[i], eta)
-					default:
-						s.nar.Say("job %3d/%d  %-34s simulated%s", done, len(specs), specs[i], eta)
+					} else {
+						s.nar.Say("job %3d/%d  %-34s %s%s", done, len(specs), specs[i], src, eta)
 					}
 				}
 			})
@@ -308,11 +339,33 @@ func (s *Session[V]) Run(ctx context.Context, specs []Spec) ([]V, error) {
 	return results, nil
 }
 
+// source says where a job's result came from; its String is the word
+// the progress narration prints.
+type source int
+
+// The result sources, cheapest first.
+const (
+	srcCache source = iota // in-memory cache or in-flight join
+	srcStore               // persistent tier (read-through)
+	srcSim                 // fresh simulation
+)
+
+// String renders the narration word for a source.
+func (s source) String() string {
+	switch s {
+	case srcCache:
+		return "cache hit"
+	case srcStore:
+		return "store hit"
+	}
+	return "simulated"
+}
+
 // one resolves a single spec against the cache, executing it if this
-// goroutine becomes the key's leader. hit reports whether the result
-// came from the cache or an in-flight join rather than a fresh
-// execution.
-func (s *Session[V]) one(ctx context.Context, sp Spec) (v V, hit bool, err error) {
+// goroutine becomes the key's leader. A leader consults the persistent
+// tier (read-through) before simulating, and stores fresh results back
+// into it; src reports which level ultimately supplied the result.
+func (s *Session[V]) one(ctx context.Context, sp Spec) (v V, src source, err error) {
 	key := sp.Key()
 	for {
 		s.cache.mu.Lock()
@@ -321,10 +374,22 @@ func (s *Session[V]) one(ctx context.Context, sp Spec) (v V, hit bool, err error
 			e = &entry[V]{done: make(chan struct{})}
 			s.cache.m[key] = e
 			s.cache.mu.Unlock()
+			s.mx.misses.Inc()
+
+			src = srcSim
+			if s.tier != nil {
+				if tv, ok := s.tier.Load(key); ok {
+					e.val = tv
+					s.storeHits.Add(1)
+					s.mx.storeHits.Inc()
+					close(e.done)
+					return e.val, srcStore, nil
+				}
+				s.mx.storeMisses.Inc()
+			}
 
 			e.val, e.err = s.exec(ctx, sp)
 			s.sims.Add(1)
-			s.mx.misses.Inc()
 			if e.err != nil && isCancel(e.err) {
 				// A canceled run is not a result: forget the slot so a
 				// later, uncanceled caller re-executes.
@@ -334,8 +399,12 @@ func (s *Session[V]) one(ctx context.Context, sp Spec) (v V, hit bool, err error
 				}
 				s.cache.mu.Unlock()
 			}
+			if e.err == nil && s.tier != nil {
+				// Write-behind: Store must not block on durable I/O.
+				s.tier.Store(key, e.val)
+			}
 			close(e.done)
-			return e.val, false, e.err
+			return e.val, srcSim, e.err
 		}
 		s.cache.mu.Unlock()
 
@@ -355,16 +424,16 @@ func (s *Session[V]) one(ctx context.Context, sp Spec) (v V, hit bool, err error
 				// become the new leader) unless we are canceled too.
 				if cerr := ctx.Err(); cerr != nil {
 					var zero V
-					return zero, false, cerr
+					return zero, srcSim, cerr
 				}
 				continue
 			}
 			s.hits.Add(1)
 			s.mx.hits.Inc()
-			return e.val, true, e.err
+			return e.val, srcCache, e.err
 		case <-ctx.Done():
 			var zero V
-			return zero, false, ctx.Err()
+			return zero, srcSim, ctx.Err()
 		}
 	}
 }

@@ -26,7 +26,7 @@ func echoExec(calls *atomic.Int64) func(context.Context, Spec) (string, error) {
 
 func TestRunPositionalResults(t *testing.T) {
 	var calls atomic.Int64
-	s := NewSession(NewCache[string](), echoExec(&calls), Options{Workers: 4})
+	s := NewSession(NewCache[string](), echoExec(&calls), Options[string]{Workers: 4})
 	specs := make([]Spec, 16)
 	for i := range specs {
 		specs[i] = spec(len(specs) - 1 - i) // reverse order: merge must not depend on scheduling
@@ -47,7 +47,7 @@ func TestRunPositionalResults(t *testing.T) {
 
 func TestInBatchDedup(t *testing.T) {
 	var calls atomic.Int64
-	s := NewSession(NewCache[string](), echoExec(&calls), Options{Workers: 8})
+	s := NewSession(NewCache[string](), echoExec(&calls), Options[string]{Workers: 8})
 	// 24 jobs over 3 unique keys: duplicates must join the leader or hit
 	// the cache, never re-execute.
 	var specs []Spec
@@ -77,12 +77,12 @@ func TestCrossRunMemoization(t *testing.T) {
 	cache := NewCache[string]()
 	specs := []Spec{spec(0), spec(1), spec(2)}
 
-	s1 := NewSession(cache, echoExec(&calls), Options{Workers: 2})
+	s1 := NewSession(cache, echoExec(&calls), Options[string]{Workers: 2})
 	if _, err := s1.Run(context.Background(), specs); err != nil {
 		t.Fatalf("first Run: %v", err)
 	}
 	// A fresh session sharing the cache must serve everything as hits.
-	s2 := NewSession(cache, echoExec(&calls), Options{Workers: 2})
+	s2 := NewSession(cache, echoExec(&calls), Options[string]{Workers: 2})
 	if _, err := s2.Run(context.Background(), specs); err != nil {
 		t.Fatalf("second Run: %v", err)
 	}
@@ -110,7 +110,7 @@ func TestErrorSelectionPrefersLowestIndex(t *testing.T) {
 		}
 		return sp.Key(), nil
 	}
-	s := NewSession(NewCache[string](), exec, Options{Workers: 1})
+	s := NewSession(NewCache[string](), exec, Options[string]{Workers: 1})
 	_, err := s.Run(context.Background(), []Spec{spec(0), spec(1), spec(2), spec(3)})
 	if !errors.Is(err, boom) {
 		t.Fatalf("Run error = %v, want wrapped boom", err)
@@ -138,7 +138,7 @@ func TestCanceledContext(t *testing.T) {
 			return sp.Key(), nil
 		}
 	}
-	s := NewSession(cache, exec, Options{Workers: 2})
+	s := NewSession(cache, exec, Options[string]{Workers: 2})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // pre-canceled: every job must be skipped or abort
 	_, err := s.Run(ctx, []Spec{spec(0), spec(1), spec(2), spec(3)})

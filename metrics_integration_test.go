@@ -49,7 +49,7 @@ func TestEngineMetricsDeterministicAcrossWorkers(t *testing.T) {
 		asymfence.FlushSimCache()
 		reg := asymfence.NewMetricsRegistry()
 		if _, err := asymfence.RunBatch(context.Background(), jobs, asymfence.BatchOptions{
-			Jobs: workers, Metrics: reg,
+			RunConfig: asymfence.RunConfig{Jobs: workers, Metrics: reg},
 		}); err != nil {
 			t.Fatalf("RunBatch (j=%d): %v", workers, err)
 		}
@@ -95,7 +95,7 @@ func TestCacheHitMetrics(t *testing.T) {
 	reg := asymfence.NewMetricsRegistry()
 	for i := 0; i < 2; i++ {
 		if _, err := asymfence.RunBatch(context.Background(), jobs, asymfence.BatchOptions{
-			Jobs: 4, Metrics: reg,
+			RunConfig: asymfence.RunConfig{Jobs: 4, Metrics: reg},
 		}); err != nil {
 			t.Fatalf("RunBatch pass %d: %v", i, err)
 		}

@@ -27,7 +27,11 @@ func ParseEventMask(s string) (EventMask, bool) { return trace.ParseMask(s) }
 
 // TraceOptions configures TraceWorkload; the zero value traces every
 // event class with quick-run workload sizing. See experiments.TraceOptions.
+// TraceWorkload runs exactly one instrumented simulation, so of the
+// embedded RunConfig only Metrics applies.
 type TraceOptions struct {
+	RunConfig
+
 	// Cores (default 8).
 	Cores int
 	// Scale sizes execution-time workloads (default 0.25).
@@ -41,9 +45,6 @@ type TraceOptions struct {
 	// SampleInterval is the interval-metrics period in cycles
 	// (default 1000; negative disables sampling).
 	SampleInterval int64
-	// Metrics, when non-nil, receives the run's machine counters (see
-	// MetricsRegistry).
-	Metrics *MetricsRegistry
 }
 
 // TraceResult is a traced workload execution. Its exporters write the
