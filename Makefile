@@ -4,10 +4,10 @@
 GO ?= go
 
 .PHONY: check fmt vet doccheck build test race race-runner check-store \
-	smoke bench bench-snapshot bench-baseline bench-metrics \
+	check-service smoke bench bench-snapshot bench-baseline bench-metrics \
 	check-invariants fuzz-smoke
 
-check: fmt vet doccheck build test race-runner check-store check-invariants fuzz-smoke smoke
+check: fmt vet doccheck build test race-runner check-store check-service check-invariants fuzz-smoke smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -53,6 +53,19 @@ check-store:
 	$(GO) test -race -count=1 -run 'Tier|StoreMetrics' ./internal/experiments/runner/
 	$(GO) test -race -count=1 -run 'TestStore' .
 	$(GO) test -race -count=1 -run 'TestSubmit' ./cmd/asymsim/
+
+# The hardened job service under the race detector: the service chaos
+# harness (daemon killed and restarted mid-batch over fault-injected
+# store/journal writes, reached through a fault-injecting HTTP
+# transport, with byte-identical recovery asserted), the deadline/hang/
+# panic containment and drain/crash-recovery suites, and the journal
+# and service fault-injector unit suites (see ROBUSTNESS.md "Service
+# hardening").
+check-service:
+	$(GO) test -race -count=1 -run 'TestServiceChaos|TestDeadline|TestPerJob|TestOverload|TestDrain' ./cmd/asymsim/
+	$(GO) test -race -count=1 ./internal/journal/
+	$(GO) test -race -count=1 -run 'WriteFaults|RoundTripper' ./internal/faults/
+	$(GO) test -race -count=1 -run 'TestPanicContainment' ./internal/experiments/runner/
 
 # Quick end-to-end sanity: the headline experiment at reduced scale on
 # a parallel worker pool.

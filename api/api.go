@@ -11,8 +11,18 @@
 //	POST /v1/jobs        SubmitRequest -> SubmitResponse (a job-set id)
 //	GET  /v1/jobs/{id}   JobSet (per-job state, source and results)
 //	GET  /v1/store/stats StoreStats (persistent-store occupancy/traffic)
+//	GET  /healthz        liveness: 200 while the process serves
+//	GET  /readyz         readiness: 200 accepting, 503 while draining
 //
-// Errors return a non-2xx status with an Error body.
+// Errors return a non-2xx status with an Error body. Two statuses are
+// load-management signals rather than failures: 429 Too Many Requests
+// (the daemon's admission queue is full; a Retry-After header says
+// when to resubmit) and 503 Service Unavailable (the daemon is
+// draining for shutdown; resubmit to it — or its successor — later).
+// Job-set ids are content-addressed (a hash of the canonical job
+// list), so resubmitting the same batch after a crash, restart or lost
+// response is idempotent: the daemon returns the same id, with
+// SubmitResponse.Existing set when it already knows the set.
 package api
 
 // Version is the wire-schema version; it is the URL prefix of every
@@ -31,6 +41,11 @@ type Job struct {
 	Cores   int     `json:"cores,omitempty"`
 	Scale   float64 `json:"scale,omitempty"`
 	Horizon int64   `json:"horizon,omitempty"`
+	// TimeoutMS overrides the server's default per-job wall-clock
+	// deadline, in milliseconds (0: server default; the server rejects
+	// values above its -max-deadline cap, and negative values, with
+	// 400). A job that exceeds its deadline fails with ErrKindTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // SubmitRequest is the POST /v1/jobs body: a batch of jobs to run as
@@ -41,10 +56,16 @@ type SubmitRequest struct {
 
 // SubmitResponse acknowledges a submission with the job-set id to poll.
 type SubmitResponse struct {
-	// ID names the job set: poll GET /v1/jobs/{id}.
+	// ID names the job set: poll GET /v1/jobs/{id}. Content-addressed —
+	// equal canonical job lists always get equal ids.
 	ID string `json:"id"`
 	// Jobs echoes the accepted job count.
 	Jobs int `json:"jobs"`
+	// Existing reports that the daemon already knew this job set (a
+	// resubmission after a lost response, restart or crash); the
+	// in-flight or recovered set is returned rather than re-running
+	// completed work.
+	Existing bool `json:"existing,omitempty"`
 }
 
 // JobState is the lifecycle of one submitted job.
@@ -57,8 +78,41 @@ const (
 	JobRunning JobState = "running"
 	// JobDone jobs finished; Result is set.
 	JobDone JobState = "done"
-	// JobFailed jobs errored; Error is set.
+	// JobFailed jobs errored; Error is set (and ErrorKind classifies).
 	JobFailed JobState = "failed"
+	// JobInterrupted jobs were cut off by a daemon shutdown before
+	// completing. Terminal for that daemon run; a restarted daemon
+	// recovering the journal re-runs them from scratch.
+	JobInterrupted JobState = "interrupted"
+)
+
+// Terminal reports whether s is a terminal state (done, failed or
+// interrupted) — a job in a terminal state will not change again within
+// the current daemon run.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobInterrupted
+}
+
+// ErrorKind values classify a failed job (JobStatus.ErrorKind), so
+// clients can distinguish deterministic failures (resubmitting won't
+// help) from operational ones (it might).
+const (
+	// ErrKindTimeout: the job exceeded its wall-clock deadline and was
+	// canceled.
+	ErrKindTimeout = "timeout"
+	// ErrKindHung: the job ignored cancellation past the deadline grace
+	// period; the watchdog abandoned it and attached the daemon's
+	// flight-recorder tail (recent progress events) to Error.
+	ErrKindHung = "hung"
+	// ErrKindPanic: the simulation panicked; the recovered panic value
+	// and a stack excerpt are in Error. The daemon keeps serving.
+	ErrKindPanic = "panic"
+	// ErrKindInterrupted: the daemon shut down mid-run (also the
+	// ErrorKind accompanying JobInterrupted).
+	ErrKindInterrupted = "interrupted"
+	// ErrKindInternal: any other failure (validation escapes, store
+	// errors, simulator errors).
+	ErrKindInternal = "internal"
 )
 
 // Measurement is the wire form of a completed job's result: the
@@ -97,8 +151,11 @@ type JobStatus struct {
 	Source string `json:"source,omitempty"`
 	// Result is set when State is JobDone.
 	Result *Measurement `json:"result,omitempty"`
-	// Error is set when State is JobFailed.
+	// Error is set when State is JobFailed or JobInterrupted.
 	Error string `json:"error,omitempty"`
+	// ErrorKind classifies a failure (the ErrKind* constants); empty on
+	// success.
+	ErrorKind string `json:"error_kind,omitempty"`
 }
 
 // JobSet is the GET /v1/jobs/{id} body: the whole submission's

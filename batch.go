@@ -32,6 +32,12 @@ type BatchOptions struct {
 	RunConfig
 }
 
+// SimPanicError is the typed failure a panicking simulation is
+// converted into: the worker recovers the panic and fails only that
+// job, so one bad simulation cannot take down the host process.
+// Surface it with errors.As on any RunBatch or experiment error.
+type SimPanicError = runner.PanicError
+
 // RunBatch executes a flat batch of simulation jobs on a bounded worker
 // pool against the process-wide measurement cache, backed by the
 // persistent store when RunConfig.Store/StoreDir is set. Results return

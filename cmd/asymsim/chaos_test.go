@@ -1,0 +1,235 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"asymfence"
+	"asymfence/api"
+	"asymfence/internal/faults"
+	"asymfence/internal/journal"
+	"asymfence/internal/store"
+)
+
+// chaosJobs is the real-simulation batch the chaos harness runs: small
+// enough to finish in seconds, varied enough that wrong-result bugs
+// (serving job A's measurement for job B) cannot hide.
+func chaosJobs() []api.Job {
+	var jobs []api.Job
+	for _, app := range []string{"Counter", "Hash"} {
+		for _, d := range []string{"S+", "WS+", "W+", "Wee"} {
+			jobs = append(jobs, api.Job{Group: "ustm", App: app, Design: d, Cores: 4, Horizon: 20000})
+		}
+	}
+	jobs = append(jobs,
+		api.Job{Group: "cilk", App: "fib", Design: "S+", Cores: 4, Scale: 0.1},
+		api.Job{Group: "cilk", App: "fib", Design: "Wee", Cores: 4, Scale: 0.1},
+	)
+	return jobs
+}
+
+// runControl runs the batch on a clean fault-free daemon and returns
+// the per-job measurements the chaos run must reproduce byte for byte.
+func runControl(t *testing.T, ctx context.Context, jobs []api.Job) []*api.Measurement {
+	t.Helper()
+	asymfence.FlushSimCache()
+	srv, _ := startDaemon(t, ctx, "")
+	_, set, err := submitAndWait(ctx, newClient(srv.URL, nil), jobs, "", 5*time.Millisecond, io.Discard)
+	if err != nil {
+		t.Fatalf("control run: %v", err)
+	}
+	out := make([]*api.Measurement, len(set.Jobs))
+	for i, js := range set.Jobs {
+		if js.State != api.JobDone {
+			t.Fatalf("control job %d = (%s): %s", i, js.State, js.Error)
+		}
+		out[i] = js.Result
+	}
+	return out
+}
+
+// faultyClient builds the resilient submit client over a fault-
+// injecting transport with test-speed backoff. The fault mix is much
+// hotter than DefaultHTTP (every other request dropped, half the rest
+// answered 503) because a fast machine finishes the whole run in a few
+// dozen requests and the schedule must still fire within them.
+func faultyClient(base string, seed uint64) (*client, *faults.RoundTripper) {
+	rt := faults.NewRoundTripper(nil, seed, faults.HTTPConfig{
+		DropProb: 2, DelayProb: 8, DelayMax: 2 * time.Millisecond, Err5xxProb: 2,
+	})
+	cl := newClient(base, &http.Client{Transport: rt})
+	cl.retries = 32
+	cl.backoff, cl.backoffCap = time.Millisecond, 20*time.Millisecond
+	return cl, rt
+}
+
+// TestServiceChaosCrashRestart is the service chaos harness: a daemon
+// with seed-deterministic store/journal write faults is killed mid-
+// batch, a measurement record is corrupted on disk, and a successor
+// daemon over the same directories — reached through a fault-injecting
+// HTTP transport — must bring every job to done with measurements
+// byte-identical to a clean control run. Store and journal damage may
+// only ever cost re-simulation, never wrong bytes or a wedged set.
+func TestServiceChaosCrashRestart(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	jobs := chaosJobs()
+	control := runControl(t, ctx, jobs)
+
+	dir := t.TempDir()
+	storeDir, journalDir := filepath.Join(dir, "store"), filepath.Join(dir, "store", "jobs")
+	wf := faults.NewWriteFaults(29, faults.DefaultFS())
+
+	// Daemon 1: real simulations over fault-injected persistence, one
+	// worker so the batch is still in flight when the crash lands.
+	st1, err := asymfence.OpenStore(storeDir, asymfence.StoreOptions{WriteFile: wf.Wrap(store.WriteFileAtomic)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jn1, err := journal.Open(journalDir, journal.Options{WriteFile: wf.Wrap(store.WriteFileAtomic)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1, crash := context.WithCancel(context.Background())
+	ring1 := newProgressRing(64)
+	js1 := newJobServer(ctx1, jobServerConfig{workers: 1, store: st1, journal: jn1, ring: ring1})
+	srv1 := httptest.NewServer(serveMux(asymfence.NewMetricsRegistry(), ring1, js1, newHealth()))
+
+	asymfence.FlushSimCache()
+	cl1, rt1 := faultyClient(srv1.URL, 31)
+	var sub api.SubmitResponse
+	body := mustMarshalSubmit(t, jobs)
+	if err := cl1.doJSON(ctx, "POST", "/v1/jobs", body, http.StatusAccepted, &sub); err != nil {
+		t.Fatalf("chaos submit (through faulty transport): %v", err)
+	}
+	id := sub.ID
+
+	// Let the batch make partial progress, then crash the daemon: hard
+	// cancel (no drain — a crash does not say goodbye) plus the
+	// listener going away under the polling client.
+	waitPartialProgress(t, ctx, cl1, id, 60*time.Second)
+	crash()
+	srv1.Close()
+	// The crashed daemon's store handle is abandoned un-Closed, exactly
+	// as a killed process would leave it; concurrent opens are safe by
+	// the store's contract.
+
+	// Corrupt whatever measurement record is largest on disk — the
+	// restarted daemon must degrade it to re-simulation.
+	corruptOneStoreObject(t, storeDir)
+
+	// Daemon 2: clean handles over the same directories; recovery
+	// re-runs everything the journal says never finished. A fresh
+	// in-memory cache, as a restarted process would have.
+	asymfence.FlushSimCache()
+	st2, err := asymfence.OpenStore(storeDir, asymfence.StoreOptions{})
+	if err != nil {
+		t.Fatalf("reopen store over crash damage: %v", err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	jn2, err := journal.Open(journalDir, journal.Options{})
+	if err != nil {
+		t.Fatalf("reopen journal over crash damage: %v", err)
+	}
+	ring2 := newProgressRing(64)
+	js2 := newJobServer(context.Background(), jobServerConfig{workers: 2, store: st2, journal: jn2, ring: ring2})
+	defer js2.drain(5 * time.Second)
+	srv2 := httptest.NewServer(serveMux(asymfence.NewMetricsRegistry(), ring2, js2, newHealth()))
+	defer srv2.Close()
+
+	// Resume through another faulty transport. If the crash tore the
+	// journal record away entirely, the resume poll 404s — then the
+	// client simply resubmits, and content-addressing re-forms the very
+	// same set id.
+	cl2, rt2 := faultyClient(srv2.URL, 37)
+	resumeID, set, err := submitAndWait(ctx, cl2, nil, id, 5*time.Millisecond, io.Discard)
+	if err != nil && strings.Contains(err.Error(), "404") {
+		t.Logf("journal record lost in the crash (%d corrupt dropped); resubmitting", jn2.Corrupt())
+		resumeID, set, err = submitAndWait(ctx, cl2, jobs, "", 5*time.Millisecond, io.Discard)
+	}
+	if err != nil {
+		t.Fatalf("resume after crash: %v", err)
+	}
+	if resumeID != id {
+		t.Fatalf("recovered set id %s != original %s; content-addressing broken", resumeID, id)
+	}
+
+	// Every job terminal and done; every measurement byte-identical to
+	// the clean control run.
+	if len(set.Jobs) != len(jobs) {
+		t.Fatalf("recovered set has %d jobs, want %d", len(set.Jobs), len(jobs))
+	}
+	for i, js := range set.Jobs {
+		if !js.State.Terminal() {
+			t.Fatalf("job %d not terminal after recovery: %+v", i, js)
+		}
+		if js.State != api.JobDone {
+			t.Fatalf("job %d = (%s, %s): %s, want done", i, js.State, js.ErrorKind, js.Error)
+		}
+		if js.Result == nil || *js.Result != *control[i] {
+			t.Fatalf("job %d measurement diverged after crash recovery:\ncontrol: %+v\nchaos:   %+v",
+				i, control[i], js.Result)
+		}
+	}
+	if rt1.Drops()+rt2.Drops() == 0 {
+		t.Error("no transport faults fired during the chaos run; the harness tested nothing")
+	}
+	t.Logf("chaos run recovered: %d jobs byte-identical, %d journal records dropped corrupt, client survived %d injected transport faults",
+		len(set.Jobs), jn2.Corrupt(), rt1.Drops()+rt2.Drops())
+}
+
+// mustMarshalSubmit encodes a submit body.
+func mustMarshalSubmit(t *testing.T, jobs []api.Job) []byte {
+	t.Helper()
+	body, err := json.Marshal(api.SubmitRequest{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// waitPartialProgress polls (through the fault-injecting client, so
+// poll traffic exercises the transport faults too) until at least one
+// job of the set is terminal, so the crash lands mid-batch rather than
+// before any work happened. If the batch races to completion first,
+// the crash still exercises restart-over-completed-journal recovery.
+func waitPartialProgress(t *testing.T, ctx context.Context, cl *client, id string, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		var set api.JobSet
+		if err := cl.doJSON(ctx, "GET", "/v1/jobs/"+id, nil, http.StatusOK, &set); err != nil {
+			t.Fatalf("progress poll: %v", err)
+		}
+		for _, js := range set.Jobs {
+			if js.State.Terminal() {
+				return
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("no job terminal within %s; cannot stage a mid-batch crash", within)
+}
+
+// corruptOneStoreObject truncates one persisted measurement record, if
+// any exist yet (the fault schedule may have blocked them all).
+func corruptOneStoreObject(t *testing.T, storeDir string) {
+	t.Helper()
+	matches, _ := filepath.Glob(filepath.Join(storeDir, "objects", "*", "*.json"))
+	if len(matches) == 0 {
+		t.Log("no store objects on disk at crash time; nothing to corrupt")
+		return
+	}
+	if err := os.Truncate(matches[0], 9); err != nil {
+		t.Fatalf("truncating %s: %v", matches[0], err)
+	}
+	t.Logf("truncated store object %s", filepath.Base(matches[0]))
+}

@@ -1,0 +1,326 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"asymfence"
+	"asymfence/api"
+	"asymfence/internal/journal"
+)
+
+// These tests drive the job service's hardening layer through the
+// runBatch seam: a stub "simulator" whose behavior is selected by the
+// job's horizon, so deadlines, hangs, panics and overload can be
+// provoked in milliseconds without real simulations.
+const (
+	hzOK    = 1001 // returns instantly (as does any horizon outside the bands below)
+	hzSlow  = 1002 // blocks until canceled, then respects the cancel
+	hzWedge = 1003 // blocks forever, ignoring cancellation (a hung sim)
+	hzPanic = 1004 // panics
+	hzHold  = 2000 // 2000..2099: blocks until holdRelease is closed, then returns
+)
+
+// stubEnv is a job server wired to the stub simulator plus the plumbing
+// the hardening tests poke at.
+type stubEnv struct {
+	js          *jobServer
+	srv         *httptest.Server
+	cancel      context.CancelFunc
+	holdMu      sync.Mutex
+	holdRelease chan struct{}
+}
+
+// release lets hzHold jobs finish.
+func (e *stubEnv) release() {
+	e.holdMu.Lock()
+	defer e.holdMu.Unlock()
+	select {
+	case <-e.holdRelease:
+	default:
+		close(e.holdRelease)
+	}
+}
+
+// startStubDaemon builds a daemon whose runBatch is the horizon-keyed
+// stub; cfg's seam fields may be preset by the caller.
+func startStubDaemon(t *testing.T, cfg jobServerConfig) *stubEnv {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	env := &stubEnv{cancel: cancel, holdRelease: make(chan struct{})}
+	if cfg.ring == nil {
+		cfg.ring = newProgressRing(64)
+	}
+	cfg.runBatch = func(ctx context.Context, jobs []asymfence.SimJob, opts asymfence.BatchOptions) ([]*asymfence.WorkloadMeasurement, error) {
+		j := jobs[0]
+		fmt.Fprintf(opts.Progress, "stub: running %s:%s h%d\n", j.Group, j.App, j.Horizon)
+		switch {
+		case j.Horizon == hzSlow:
+			<-ctx.Done()
+			return nil, ctx.Err()
+		case j.Horizon == hzWedge:
+			select {} // ignores ctx forever
+		case j.Horizon == hzPanic:
+			panic("stub simulator exploded")
+		case j.Horizon >= hzHold && j.Horizon < hzHold+100:
+			select {
+			case <-env.holdRelease:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return []*asymfence.WorkloadMeasurement{{Cycles: j.Horizon, Commits: 7, Busy: 0.5}}, nil
+	}
+	env.js = newJobServer(ctx, cfg)
+	env.srv = httptest.NewServer(serveMux(asymfence.NewMetricsRegistry(), cfg.ring, env.js, newHealth()))
+	t.Cleanup(env.srv.Close)
+	return env
+}
+
+// stubJob builds a valid ustm job whose horizon selects stub behavior.
+func stubJob(hz int64) api.Job {
+	return api.Job{Group: "ustm", App: "Counter", Design: "S+", Cores: 4, Horizon: hz}
+}
+
+// submitSet posts jobs and returns the accepted response.
+func submitSet(t *testing.T, base string, jobs []api.Job) api.SubmitResponse {
+	t.Helper()
+	var sub api.SubmitResponse
+	body, _ := json.Marshal(api.SubmitRequest{Jobs: jobs})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/jobs: %s: %s", resp.Status, b)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatalf("decode submit response: %v", err)
+	}
+	return sub
+}
+
+// waitTerminal polls the set until every job is terminal.
+func waitTerminal(t *testing.T, base, id string, within time.Duration) api.JobSet {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		var set api.JobSet
+		getJSON(t, base+"/v1/jobs/"+id, &set)
+		if set.Done {
+			return set
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("set %s not terminal within %s: %+v", id, within, set)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDeadlineHungAndPanicContainment covers the failure classification
+// matrix in one batch: a cancellation-respecting slow job times out, a
+// wedged job is abandoned by the watchdog with the flight-recorder tail
+// attached, a panicking job fails typed — and the daemon keeps serving
+// fresh work afterwards.
+func TestDeadlineHungAndPanicContainment(t *testing.T) {
+	env := startStubDaemon(t, jobServerConfig{
+		workers: 4, defaultTimeout: 50 * time.Millisecond, hungGrace: 100 * time.Millisecond,
+	})
+	sub := submitSet(t, env.srv.URL, []api.Job{
+		stubJob(hzOK), stubJob(hzSlow), stubJob(hzWedge), stubJob(hzPanic),
+	})
+	set := waitTerminal(t, env.srv.URL, sub.ID, 10*time.Second)
+
+	byHz := map[int64]api.JobStatus{}
+	for _, js := range set.Jobs {
+		byHz[js.Job.Horizon] = js
+	}
+	if js := byHz[hzOK]; js.State != api.JobDone || js.Result == nil || js.Result.Cycles != hzOK {
+		t.Errorf("ok job = %+v, want done with the stub measurement", js)
+	}
+	if js := byHz[hzSlow]; js.State != api.JobFailed || js.ErrorKind != api.ErrKindTimeout {
+		t.Errorf("slow job = (%s, %s): %s, want failed/timeout", js.State, js.ErrorKind, js.Error)
+	}
+	if js := byHz[hzWedge]; js.State != api.JobFailed || js.ErrorKind != api.ErrKindHung {
+		t.Errorf("wedged job = (%s, %s): %s, want failed/hung", js.State, js.ErrorKind, js.Error)
+	} else if !strings.Contains(js.Error, "stub: running") {
+		t.Errorf("hung-job error carries no flight-recorder tail: %s", js.Error)
+	}
+	if js := byHz[hzPanic]; js.State != api.JobFailed || js.ErrorKind != api.ErrKindPanic ||
+		!strings.Contains(js.Error, "stub simulator exploded") {
+		t.Errorf("panicking job = (%s, %s): %s, want failed/panic with the panic value", js.State, js.ErrorKind, js.Error)
+	}
+
+	// The daemon survived the wedge and the panic: new work still runs,
+	// even with the wedged goroutine still parked in the background.
+	sub2 := submitSet(t, env.srv.URL, []api.Job{stubJob(hzOK + 100)})
+	set2 := waitTerminal(t, env.srv.URL, sub2.ID, 10*time.Second)
+	if set2.Jobs[0].State != api.JobDone {
+		t.Fatalf("post-containment job = %+v, want done", set2.Jobs[0])
+	}
+}
+
+// TestPerJobTimeoutOverrideAndCap checks timeout_ms plumbing: a tight
+// per-job override beats the generous server default, and an over-cap
+// override is rejected at validation.
+func TestPerJobTimeoutOverrideAndCap(t *testing.T) {
+	env := startStubDaemon(t, jobServerConfig{
+		workers: 2, defaultTimeout: time.Hour, maxTimeout: time.Minute, hungGrace: 100 * time.Millisecond,
+	})
+	j := stubJob(hzSlow)
+	j.TimeoutMS = 30
+	sub := submitSet(t, env.srv.URL, []api.Job{j})
+	set := waitTerminal(t, env.srv.URL, sub.ID, 10*time.Second)
+	if js := set.Jobs[0]; js.State != api.JobFailed || js.ErrorKind != api.ErrKindTimeout {
+		t.Fatalf("overridden job = (%s, %s), want a 30ms timeout despite the 1h default", js.State, js.ErrorKind)
+	}
+
+	over := stubJob(hzOK)
+	over.TimeoutMS = (2 * time.Minute).Milliseconds()
+	body, _ := json.Marshal(api.SubmitRequest{Jobs: []api.Job{over}})
+	resp, err := http.Post(env.srv.URL+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-cap timeout accepted: %s", resp.Status)
+	}
+}
+
+// TestOverloadSheds429 fills the admission queue with held jobs and
+// asserts the next submission sheds with 429 + Retry-After, then
+// admits again once the queue drains.
+func TestOverloadSheds429(t *testing.T) {
+	env := startStubDaemon(t, jobServerConfig{workers: 1, maxQueue: 2})
+	sub := submitSet(t, env.srv.URL, []api.Job{stubJob(hzHold), stubJob(hzHold + 10)})
+
+	body, _ := json.Marshal(api.SubmitRequest{Jobs: []api.Job{stubJob(hzOK)}})
+	resp, err := http.Post(env.srv.URL+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit over a full queue = %s (%s), want 429", resp.Status, b)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("429 missing Retry-After header")
+	}
+
+	env.release()
+	waitTerminal(t, env.srv.URL, sub.ID, 10*time.Second)
+	sub2 := submitSet(t, env.srv.URL, []api.Job{stubJob(hzOK)})
+	set := waitTerminal(t, env.srv.URL, sub2.ID, 10*time.Second)
+	if set.Jobs[0].State != api.JobDone {
+		t.Fatalf("post-shed job = %+v, want done after the queue drained", set.Jobs[0])
+	}
+}
+
+// TestDrainJournalsInterruptedAndRecoveryReruns is the crash-recovery
+// core: drain a daemon with held jobs (they journal as interrupted, new
+// submissions get 503), then start a fresh daemon on the same journal
+// and watch it re-run exactly the unfinished jobs while keeping the
+// finished one's recorded result; an identical resubmission maps onto
+// the recovered set.
+func TestDrainJournalsInterruptedAndRecoveryReruns(t *testing.T) {
+	dir := t.TempDir()
+	jn, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := startStubDaemon(t, jobServerConfig{
+		workers: 4, journal: jn, hungGrace: 100 * time.Millisecond,
+	})
+	jobs := []api.Job{stubJob(hzOK), stubJob(hzHold), stubJob(hzHold + 10)}
+	sub := submitSet(t, env.srv.URL, jobs)
+
+	// Wait for the instant job to finish so the journal has a done
+	// record to preserve across the restart.
+	okDone := func() bool {
+		var set api.JobSet
+		getJSON(t, env.srv.URL+"/v1/jobs/"+sub.ID, &set)
+		for _, js := range set.Jobs {
+			if js.Job.Horizon == hzOK && js.State == api.JobDone {
+				return true
+			}
+		}
+		return false
+	}
+	for d := time.Now().Add(10 * time.Second); !okDone(); {
+		if time.Now().After(d) {
+			t.Fatal("instant job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	done := make(chan struct{})
+	go func() { env.js.drain(50 * time.Millisecond); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not return")
+	}
+
+	// Draining daemon refuses new work with 503.
+	body, _ := json.Marshal(api.SubmitRequest{Jobs: []api.Job{stubJob(hzOK + 50)}})
+	resp, err := http.Post(env.srv.URL+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %s, want 503", resp.Status)
+	}
+
+	var set api.JobSet
+	getJSON(t, env.srv.URL+"/v1/jobs/"+sub.ID, &set)
+	for _, js := range set.Jobs {
+		switch js.Job.Horizon {
+		case hzOK:
+			if js.State != api.JobDone {
+				t.Errorf("finished job lost by drain: %+v", js)
+			}
+		default:
+			if js.State != api.JobInterrupted || js.ErrorKind != api.ErrKindInterrupted {
+				t.Errorf("held job after drain = (%s, %s), want interrupted", js.State, js.ErrorKind)
+			}
+		}
+	}
+
+	// Restart: a fresh daemon over the same journal. Held jobs run to
+	// completion this time (the new env's hold channel is released).
+	jn2, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := jn2.Get(sub.ID); !ok {
+		t.Fatalf("journal lost set %s across restart", sub.ID)
+	}
+	env2 := startStubDaemon(t, jobServerConfig{workers: 4, journal: jn2})
+	env2.release()
+	set2 := waitTerminal(t, env2.srv.URL, sub.ID, 10*time.Second)
+	for _, js := range set2.Jobs {
+		if js.State != api.JobDone {
+			t.Errorf("recovered job = %+v, want done after re-run", js)
+		}
+	}
+
+	// Idempotent resubmission of the same batch maps onto the set.
+	sub2 := submitSet(t, env2.srv.URL, jobs)
+	if sub2.ID != sub.ID || !sub2.Existing {
+		t.Fatalf("resubmission = %+v, want existing set %s", sub2, sub.ID)
+	}
+}

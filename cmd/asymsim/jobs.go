@@ -3,57 +3,204 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
+	"time"
 
 	"asymfence"
 	"asymfence/api"
+	"asymfence/internal/journal"
+	"asymfence/internal/metrics"
 )
 
-// jobServer implements the /v1 job service of asymsimd (`asymsim serve`
-// in daemon mode): it accepts batches of simulation jobs over HTTP,
-// runs them on a bounded worker pool against the process-wide
-// measurement cache (and the persistent store when one is attached),
-// and serves per-job progress and results until the daemon exits.
-// All submissions share one semaphore, one cache and one store handle,
-// so repeated or overlapping submissions resolve as cache or store
-// hits instead of re-simulating.
-type jobServer struct {
-	ctx   context.Context
-	sem   chan struct{}
-	store *asymfence.MeasurementStore
-	reg   *asymfence.MetricsRegistry
-	ring  *progressRing
+// This file implements the /v1 job service of asymsimd (`asymsim
+// serve` in daemon mode) and its hardening layer: it accepts batches
+// of simulation jobs over HTTP, runs them on a bounded worker pool
+// against the process-wide measurement cache (and the persistent store
+// when one is attached), and serves per-job progress and results.
+//
+// Hardening contracts (ROBUSTNESS.md "Service hardening"):
+//
+//   - Durability. Job sets and per-job terminal states are journaled
+//     (internal/journal, content-addressed set ids): a restarted
+//     daemon recovers every submitted set, re-running unfinished jobs
+//     and serving finished ones, and resubmitting the same batch is
+//     idempotent.
+//   - Deadlines and containment. Every job has a wall-clock deadline
+//     (server default, per-job override) enforced by context
+//     cancellation; a job that ignores cancellation past the grace
+//     period is abandoned by a watchdog and failed with the daemon's
+//     flight-recorder tail attached; a panicking simulation fails only
+//     its own job.
+//   - Load shedding. Admission is bounded: beyond -maxqueue
+//     outstanding jobs the daemon answers 429 + Retry-After instead of
+//     growing without bound, and 503 while draining.
 
-	mu     sync.Mutex
-	nextID int
-	sets   map[string]*jobSet
+// jobServerConfig configures newJobServer. Zero fields take the
+// documented defaults, so tests can set only what they exercise.
+type jobServerConfig struct {
+	// workers bounds concurrent simulations (<=0: GOMAXPROCS).
+	workers int
+	// store is the persistent measurement store (nil: none).
+	store *asymfence.MeasurementStore
+	// reg receives service metrics (nil: disabled).
+	reg *asymfence.MetricsRegistry
+	// ring is the daemon's progress flight recorder.
+	ring *progressRing
+	// journal is the durable job journal (nil: memory-only job state).
+	journal *journal.Journal
+	// defaultTimeout is the per-job wall-clock deadline when the job
+	// does not override it (0: 10m).
+	defaultTimeout time.Duration
+	// maxTimeout caps per-job overrides; larger requests are rejected
+	// with 400 (0: 2h).
+	maxTimeout time.Duration
+	// hungGrace is how long past its deadline a canceled job may keep
+	// running before the watchdog abandons it as hung (0: 30s).
+	hungGrace time.Duration
+	// maxQueue bounds outstanding (non-terminal) admitted jobs; beyond
+	// it submissions shed with 429 (0: 4096).
+	maxQueue int
+	// runBatch substitutes asymfence.RunBatch — the test seam the
+	// hardening suite uses to inject hangs, panics and slow jobs.
+	runBatch func(ctx context.Context, jobs []asymfence.SimJob, opts asymfence.BatchOptions) ([]*asymfence.WorkloadMeasurement, error)
+}
+
+// serviceMetrics are the job service's counters (scope "service").
+type serviceMetrics struct {
+	submitted, resubmitted, shed           *metrics.Counter
+	done, failed, panics, timeouts         *metrics.Counter
+	hung, interrupted, recovered, journalE *metrics.Counter
+}
+
+func newServiceMetrics(reg *asymfence.MetricsRegistry) serviceMetrics {
+	s := reg.Scope("service")
+	return serviceMetrics{
+		submitted:   s.Counter("jobs_submitted"),
+		resubmitted: s.Counter("sets_resubmitted"),
+		shed:        s.Counter("jobs_shed"),
+		done:        s.Counter("jobs_done"),
+		failed:      s.Counter("jobs_failed"),
+		panics:      s.Counter("jobs_panicked"),
+		timeouts:    s.Counter("jobs_timed_out"),
+		hung:        s.Counter("jobs_hung"),
+		interrupted: s.Counter("jobs_interrupted"),
+		recovered:   s.Counter("jobs_recovered"),
+		journalE:    s.Counter("journal_write_errors"),
+	}
+}
+
+// jobServer implements the hardened /v1 job service. All submissions
+// share one semaphore, one cache, one store handle and one journal, so
+// repeated or overlapping submissions resolve as cache or store hits
+// instead of re-simulating.
+type jobServer struct {
+	cfg jobServerConfig
+	mx  serviceMetrics
+	// runCtx governs every running job; stop hard-cancels them (the
+	// last resort of drain, and the crash path in tests).
+	runCtx context.Context
+	stop   context.CancelFunc
+	sem    chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	queued   int // admitted, not yet terminal
+	sets     map[string]*jobSet
+	active   sync.WaitGroup
 }
 
 // jobSet tracks one submission's jobs through their lifecycle.
 type jobSet struct {
+	id  string
+	srv *jobServer
+
 	mu       sync.Mutex
 	statuses []api.JobStatus
 	pending  int
 }
 
-// newJobServer returns a job service running jobs under ctx with at
-// most workers concurrent simulations (<=0: GOMAXPROCS). store may be
-// nil (no persistence).
-func newJobServer(ctx context.Context, workers int, store *asymfence.MeasurementStore,
-	reg *asymfence.MetricsRegistry, ring *progressRing) *jobServer {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// newJobServer returns a hardened job service running jobs under ctx
+// (cancel = hard stop; graceful shutdown goes through drain) and
+// recovers any job sets found in cfg.journal: finished jobs are served
+// from the record, unfinished ones re-run from scratch.
+func newJobServer(ctx context.Context, cfg jobServerConfig) *jobServer {
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
 	}
-	return &jobServer{
-		ctx:   ctx,
-		sem:   make(chan struct{}, workers),
-		store: store,
-		reg:   reg,
-		ring:  ring,
-		sets:  make(map[string]*jobSet),
+	if cfg.defaultTimeout <= 0 {
+		cfg.defaultTimeout = 10 * time.Minute
+	}
+	if cfg.maxTimeout <= 0 {
+		cfg.maxTimeout = 2 * time.Hour
+	}
+	if cfg.hungGrace <= 0 {
+		cfg.hungGrace = 30 * time.Second
+	}
+	if cfg.maxQueue <= 0 {
+		cfg.maxQueue = 4096
+	}
+	if cfg.runBatch == nil {
+		cfg.runBatch = asymfence.RunBatch
+	}
+	runCtx, stop := context.WithCancel(ctx)
+	s := &jobServer{
+		cfg:    cfg,
+		mx:     newServiceMetrics(cfg.reg),
+		runCtx: runCtx,
+		stop:   stop,
+		sem:    make(chan struct{}, cfg.workers),
+		sets:   make(map[string]*jobSet),
+	}
+	s.recover()
+	return s
+}
+
+// recover loads every journaled job set: terminal jobs keep their
+// recorded state (done jobs their results, failed jobs their typed
+// errors — failures are deterministic, so re-running them would fail
+// again), everything else resets to pending and re-runs.
+func (s *jobServer) recover() {
+	for _, rec := range s.cfg.journal.Records() {
+		set := &jobSet{id: rec.ID, srv: s,
+			statuses: append([]api.JobStatus(nil), rec.Jobs...)}
+		var rerun []int
+		for i := range set.statuses {
+			st := &set.statuses[i]
+			if st.State == api.JobDone || st.State == api.JobFailed {
+				continue
+			}
+			st.State, st.Source, st.Result = api.JobPending, "", nil
+			st.Error, st.ErrorKind = "", ""
+			rerun = append(rerun, i)
+		}
+		set.pending = len(rerun)
+		s.sets[rec.ID] = set
+		if len(rerun) == 0 {
+			continue
+		}
+		s.queued += len(rerun)
+		s.mx.recovered.Add(int64(len(rerun)))
+		s.journalSet(set)
+		for _, i := range rerun {
+			st := set.statuses[i]
+			sim, _, err := s.validateJob(st.Job)
+			if err != nil {
+				// A journaled canonical job that no longer validates
+				// (schema drift across versions) fails typed rather than
+				// blocking recovery.
+				set.finish(i, jobOutcome{kind: api.ErrKindInternal,
+					err: fmt.Errorf("recovered job no longer valid: %w", err)})
+				continue
+			}
+			s.active.Add(1)
+			go s.runJob(set, i, sim, s.jobTimeout(st.Job))
+		}
 	}
 }
 
@@ -84,11 +231,11 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 // validateJob resolves a wire job to a SimJob, rejecting unknown
-// groups, apps and designs before anything runs and filling the
-// documented server defaults for zero sizing fields (8 cores, full
-// scale, 60k-cycle horizon) — a zero ustm horizon would otherwise mean
-// a degenerate zero-cycle run.
-func validateJob(j api.Job) (asymfence.SimJob, api.Job, error) {
+// groups, apps, designs and out-of-range deadlines before anything
+// runs, and filling the documented server defaults for zero sizing
+// fields (8 cores, full scale, 60k-cycle horizon) — a zero ustm
+// horizon would otherwise mean a degenerate zero-cycle run.
+func (s *jobServer) validateJob(j api.Job) (asymfence.SimJob, api.Job, error) {
 	if j.Cores <= 0 {
 		j.Cores = 8
 	}
@@ -102,6 +249,12 @@ func validateJob(j api.Job) (asymfence.SimJob, api.Job, error) {
 		if j.Scale <= 0 {
 			j.Scale = 1
 		}
+	}
+	if j.TimeoutMS < 0 {
+		return asymfence.SimJob{}, j, fmt.Errorf("negative timeout_ms %d", j.TimeoutMS)
+	}
+	if max := s.cfg.maxTimeout; time.Duration(j.TimeoutMS)*time.Millisecond > max {
+		return asymfence.SimJob{}, j, fmt.Errorf("timeout_ms %d exceeds the server cap (%s)", j.TimeoutMS, max)
 	}
 	apps := asymfence.WorkloadApps(j.Group)
 	if apps == nil {
@@ -128,9 +281,22 @@ func validateJob(j api.Job) (asymfence.SimJob, api.Job, error) {
 	}, j, nil
 }
 
+// jobTimeout resolves a job's wall-clock deadline (override or server
+// default).
+func (s *jobServer) jobTimeout(j api.Job) time.Duration {
+	if j.TimeoutMS > 0 {
+		return time.Duration(j.TimeoutMS) * time.Millisecond
+	}
+	return s.cfg.defaultTimeout
+}
+
 // handleSubmit accepts a SubmitRequest, validates every job, and
 // starts the batch asynchronously. Validation is all-or-nothing: a bad
-// job rejects the whole submission with 400 and runs nothing.
+// job rejects the whole submission with 400 and runs nothing. The set
+// id is content-addressed, so resubmitting an identical batch returns
+// the existing set instead of duplicating work; a full admission queue
+// sheds with 429 + Retry-After, and a draining daemon refuses with
+// 503.
 func (s *jobServer) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	var sr api.SubmitRequest
 	if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
@@ -142,93 +308,330 @@ func (s *jobServer) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	sims := make([]asymfence.SimJob, len(sr.Jobs))
-	set := &jobSet{statuses: make([]api.JobStatus, len(sr.Jobs)), pending: len(sr.Jobs)}
+	canon := make([]api.Job, len(sr.Jobs))
 	for i, j := range sr.Jobs {
-		sim, canon, err := validateJob(j)
+		sim, cj, err := s.validateJob(j)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "job %d: %v", i, err)
 			return
 		}
 		sims[i] = sim
-		set.statuses[i] = api.JobStatus{Job: canon, State: api.JobPending}
+		canon[i] = cj
 	}
+	id := journal.SetID(canon)
 
 	s.mu.Lock()
-	s.nextID++
-	id := fmt.Sprintf("set-%d", s.nextID)
+	if set, ok := s.sets[id]; ok {
+		s.mu.Unlock()
+		s.mx.resubmitted.Inc()
+		writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: id, Jobs: len(set.statuses), Existing: true})
+		return
+	}
+	if s.draining {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "draining for shutdown; resubmit later")
+		return
+	}
+	if s.queued+len(sr.Jobs) > s.cfg.maxQueue {
+		queued := s.queued
+		s.mu.Unlock()
+		s.mx.shed.Add(int64(len(sr.Jobs)))
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"admission queue full (%d jobs outstanding, %d max); retry later", queued, s.cfg.maxQueue)
+		return
+	}
+	set := &jobSet{id: id, srv: s, statuses: make([]api.JobStatus, len(sr.Jobs)), pending: len(sr.Jobs)}
+	for i, cj := range canon {
+		set.statuses[i] = api.JobStatus{Job: cj, State: api.JobPending}
+	}
 	s.sets[id] = set
+	s.queued += len(sr.Jobs)
+	s.active.Add(len(sr.Jobs))
 	s.mu.Unlock()
+	s.mx.submitted.Add(int64(len(sr.Jobs)))
+	s.journalSet(set)
 
 	for i := range sims {
-		go s.runJob(set, i, sims[i])
+		go s.runJob(set, i, sims[i], s.jobTimeout(canon[i]))
 	}
 	writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: id, Jobs: len(sr.Jobs)})
 }
 
-// runJob executes one job of a set as a single-element batch, so the
-// per-job accounting (simulated vs cache vs store) is exact. It blocks
-// on the daemon-wide semaphore, keeping total concurrency bounded
-// however many sets are in flight.
-func (s *jobServer) runJob(set *jobSet, i int, sim asymfence.SimJob) {
+// jobOutcome is one job's terminal result.
+type jobOutcome struct {
+	m      *api.Measurement
+	source string
+	// state overrides the default terminal state (failed when err is
+	// set, done otherwise); interrupted jobs set it explicitly.
+	state api.JobState
+	kind  string
+	err   error
+}
+
+// runJob executes one job of a set as a single-element batch under its
+// wall-clock deadline, so the per-job accounting (simulated vs cache
+// vs store) is exact. It blocks on the daemon-wide semaphore, keeping
+// total concurrency bounded however many sets are in flight. The
+// simulation itself runs on a child goroutine watched by a deadline +
+// grace watchdog: if the job ignores cancellation past the grace, it
+// is abandoned (failed as hung, worker slot released, flight-recorder
+// tail attached) and the daemon keeps serving.
+func (s *jobServer) runJob(set *jobSet, i int, sim asymfence.SimJob, timeout time.Duration) {
+	defer s.active.Done()
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
-	case <-s.ctx.Done():
-		set.finish(i, nil, "", s.ctx.Err())
+	case <-s.runCtx.Done():
+		set.finish(i, jobOutcome{state: api.JobInterrupted, kind: api.ErrKindInterrupted,
+			err: errors.New("daemon shut down before the job started")})
 		return
 	}
 	set.setState(i, api.JobRunning)
 
-	var stats asymfence.RunStats
-	ms, err := asymfence.RunBatch(s.ctx, []asymfence.SimJob{sim}, asymfence.BatchOptions{
-		RunConfig: asymfence.RunConfig{
-			Jobs: 1, Progress: s.ring, Stats: &stats, Metrics: s.reg, Store: s.store,
-		},
-	})
-	if err != nil {
-		set.finish(i, nil, "", err)
+	jctx, cancel := context.WithTimeout(s.runCtx, timeout)
+	defer cancel()
+	done := make(chan jobOutcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				// Second containment belt behind the runner's own
+				// recover: panics in result handling (not just in the
+				// simulation) still fail only this job.
+				stack := debug.Stack()
+				if len(stack) > 4<<10 {
+					stack = stack[:4<<10]
+				}
+				done <- jobOutcome{kind: api.ErrKindPanic,
+					err: fmt.Errorf("panic: %v\n%s", r, stack)}
+			}
+		}()
+		var stats asymfence.RunStats
+		ms, err := s.cfg.runBatch(jctx, []asymfence.SimJob{sim}, asymfence.BatchOptions{
+			RunConfig: asymfence.RunConfig{
+				Jobs: 1, Progress: s.cfg.ring, Stats: &stats, Metrics: s.cfg.reg, Store: s.cfg.store,
+			},
+		})
+		if err != nil {
+			done <- jobOutcome{err: err}
+			return
+		}
+		source := "simulated"
+		switch {
+		case stats.CacheHits > 0:
+			source = "cache hit"
+		case stats.StoreHits > 0:
+			source = "store hit"
+		}
+		done <- jobOutcome{m: wireMeasurement(ms[0]), source: source}
+	}()
+
+	watchdog := time.NewTimer(timeout + s.cfg.hungGrace)
+	defer watchdog.Stop()
+	select {
+	case o := <-done:
+		s.classify(&o, jctx)
+		set.finish(i, o)
+	case <-watchdog.C:
+		set.finish(i, jobOutcome{kind: api.ErrKindHung, err: fmt.Errorf(
+			"hung: simulation ignored cancellation for %s past its %s deadline; abandoned by the watchdog\n%s",
+			s.cfg.hungGrace, timeout, s.ringTail())})
+	}
+}
+
+// classify fills a failed outcome's kind (and, for shutdowns, its
+// state) from the error and the contexts that produced it.
+func (s *jobServer) classify(o *jobOutcome, jctx context.Context) {
+	if o.err == nil || o.kind != "" {
 		return
 	}
-	source := "simulated"
+	var pe *asymfence.SimPanicError
 	switch {
-	case stats.CacheHits > 0:
-		source = "cache hit"
-	case stats.StoreHits > 0:
-		source = "store hit"
+	case errors.As(o.err, &pe):
+		o.kind = api.ErrKindPanic
+	case s.runCtx.Err() != nil:
+		o.state, o.kind = api.JobInterrupted, api.ErrKindInterrupted
+		o.err = fmt.Errorf("daemon shut down mid-run: %w", o.err)
+	case errors.Is(jctx.Err(), context.DeadlineExceeded):
+		o.kind = api.ErrKindTimeout
+		o.err = fmt.Errorf("deadline exceeded after %s: %w", s.jobDeadlineNote(jctx), o.err)
+	default:
+		o.kind = api.ErrKindInternal
 	}
-	set.finish(i, wireMeasurement(ms[0]), source, nil)
+}
+
+// jobDeadlineNote renders how long a timed-out job was allowed to run.
+func (s *jobServer) jobDeadlineNote(jctx context.Context) string {
+	if dl, ok := jctx.Deadline(); ok {
+		return time.Until(dl).Abs().Round(time.Millisecond).String() + " over its deadline"
+	}
+	return "its deadline"
+}
+
+// ringTail renders the daemon's flight-recorder tail (the last
+// progress events) for hung-job reports.
+func (s *jobServer) ringTail() string {
+	if s.cfg.ring == nil {
+		return "(no flight recorder attached)"
+	}
+	lines, _ := s.cfg.ring.Snapshot()
+	const keep = 16
+	if len(lines) > keep {
+		lines = lines[len(lines)-keep:]
+	}
+	if len(lines) == 0 {
+		return "(flight recorder empty)"
+	}
+	return "last progress events before abandonment:\n  " + strings.Join(lines, "\n  ")
 }
 
 // setState moves job i to st (unless already terminal).
 func (js *jobSet) setState(i int, st api.JobState) {
 	js.mu.Lock()
 	defer js.mu.Unlock()
-	js.statuses[i].State = st
+	if !js.statuses[i].State.Terminal() {
+		js.statuses[i].State = st
+	}
 }
 
-// finish records job i's terminal state.
-func (js *jobSet) finish(i int, m *api.Measurement, source string, err error) {
+// finish records job i's terminal state and journals the set. The
+// first terminal transition wins: a late result arriving after the
+// watchdog abandoned the job (or after drain interrupted it) is
+// dropped, so accounting never double-counts.
+func (js *jobSet) finish(i int, o jobOutcome) {
 	js.mu.Lock()
-	defer js.mu.Unlock()
-	if err != nil {
-		js.statuses[i].State = api.JobFailed
-		js.statuses[i].Error = err.Error()
-	} else {
-		js.statuses[i].State = api.JobDone
-		js.statuses[i].Source = source
-		js.statuses[i].Result = m
+	st := &js.statuses[i]
+	if st.State.Terminal() {
+		js.mu.Unlock()
+		return
 	}
+	if o.err != nil {
+		st.State = api.JobFailed
+		if o.state != "" {
+			st.State = o.state
+		}
+		st.Error = o.err.Error()
+		st.ErrorKind = o.kind
+		if st.ErrorKind == "" {
+			st.ErrorKind = api.ErrKindInternal
+		}
+	} else {
+		st.State = api.JobDone
+		st.Source = o.source
+		st.Result = o.m
+	}
+	kind := st.ErrorKind
+	failed := o.err != nil
 	js.pending--
+	js.mu.Unlock()
+	js.srv.jobFinished(js, failed, kind)
+}
+
+// jobFinished updates daemon-wide accounting and durably journals the
+// set after one of its jobs reached a terminal state.
+func (s *jobServer) jobFinished(set *jobSet, failed bool, kind string) {
+	s.mu.Lock()
+	s.queued--
+	s.mu.Unlock()
+	if !failed {
+		s.mx.done.Inc()
+	} else {
+		s.mx.failed.Inc()
+		switch kind {
+		case api.ErrKindPanic:
+			s.mx.panics.Inc()
+		case api.ErrKindTimeout:
+			s.mx.timeouts.Inc()
+		case api.ErrKindHung:
+			s.mx.hung.Inc()
+		case api.ErrKindInterrupted:
+			s.mx.interrupted.Inc()
+		}
+	}
+	s.journalSet(set)
+}
+
+// journalSet persists the set's current state. Journal failures are
+// deliberately non-fatal — the service keeps running on degraded
+// (memory-only) durability — but they are counted and surfaced on the
+// progress ring.
+func (s *jobServer) journalSet(set *jobSet) {
+	if s.cfg.journal == nil {
+		return
+	}
+	set.mu.Lock()
+	jobs := append([]api.JobStatus(nil), set.statuses...)
+	set.mu.Unlock()
+	if err := s.cfg.journal.Put(set.id, jobs); err != nil {
+		s.mx.journalE.Inc()
+		if s.cfg.ring != nil {
+			fmt.Fprintf(s.cfg.ring, "asymsimd: %v (job state for %s is memory-only until the next update persists)\n", err, set.id)
+		}
+	}
 }
 
 // snapshot returns the set's current wire view.
-func (js *jobSet) snapshot(id string) api.JobSet {
+func (js *jobSet) snapshot() api.JobSet {
 	js.mu.Lock()
 	defer js.mu.Unlock()
 	return api.JobSet{
-		ID:   id,
+		ID:   js.id,
 		Jobs: append([]api.JobStatus(nil), js.statuses...),
 		Done: js.pending == 0,
+	}
+}
+
+// drain gracefully shuts the job service down: stop admitting (new
+// submissions get 503), wait up to grace for in-flight jobs, then
+// hard-cancel whatever remains — running jobs journal as interrupted —
+// and return once every job goroutine has settled (bounded by the hung
+// grace, in case a wedged simulation is ignoring cancellation).
+func (s *jobServer) drain(grace time.Duration) {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	settled := make(chan struct{})
+	go func() { s.active.Wait(); close(settled) }()
+	select {
+	case <-settled:
+	case <-time.After(grace):
+	case <-s.runCtx.Done():
+	}
+	s.stop()
+	select {
+	case <-settled:
+	case <-time.After(s.cfg.hungGrace + time.Second):
+		// A wedged job is still ignoring cancellation; its watchdog has
+		// already (or will) fail it. Don't hold shutdown hostage.
+	}
+	s.interruptRemaining()
+}
+
+// interruptRemaining journals every still-non-terminal job as
+// interrupted, so a restarted daemon re-runs exactly what this one
+// never finished.
+func (s *jobServer) interruptRemaining() {
+	s.mu.Lock()
+	sets := make([]*jobSet, 0, len(s.sets))
+	for _, set := range s.sets {
+		sets = append(sets, set)
+	}
+	s.mu.Unlock()
+	for _, set := range sets {
+		set.mu.Lock()
+		var open []int
+		for i := range set.statuses {
+			if !set.statuses[i].State.Terminal() {
+				open = append(open, i)
+			}
+		}
+		set.mu.Unlock()
+		for _, i := range open {
+			set.finish(i, jobOutcome{state: api.JobInterrupted, kind: api.ErrKindInterrupted,
+				err: errors.New("daemon shut down before the job finished")})
+		}
 	}
 }
 
@@ -250,7 +653,11 @@ func wireMeasurement(m *asymfence.WorkloadMeasurement) *api.Measurement {
 	return out
 }
 
-// handleGet serves one job set's progress and results.
+// handleGet serves one job set's progress and results. Every journaled
+// set was loaded at startup, so memory is authoritative: an id that is
+// neither live nor recovered is 404 (a client that still holds it
+// simply resubmits — ids are content-addressed, so it re-forms the
+// same set).
 func (s *jobServer) handleGet(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
 	s.mu.Lock()
@@ -260,17 +667,17 @@ func (s *jobServer) handleGet(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job set %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, set.snapshot(id))
+	writeJSON(w, http.StatusOK, set.snapshot())
 }
 
 // handleStoreStats reports the persistent store's occupancy and
 // traffic (zeroes with Enabled=false when the daemon has no store).
 func (s *jobServer) handleStoreStats(w http.ResponseWriter, req *http.Request) {
 	out := api.StoreStats{}
-	if s.store != nil {
-		st := s.store.Stats()
+	if s.cfg.store != nil {
+		st := s.cfg.store.Stats()
 		out = api.StoreStats{
-			Enabled: true, Dir: s.store.Dir(),
+			Enabled: true, Dir: s.cfg.store.Dir(),
 			Records: st.Records, Bytes: st.Bytes,
 			Hits: st.Hits, Misses: st.Misses, Writes: st.Writes,
 			Evictions: st.Evictions, Corrupt: st.Corrupt,

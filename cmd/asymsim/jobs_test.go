@@ -29,8 +29,8 @@ func startDaemon(t *testing.T, ctx context.Context, dir string) (*httptest.Serve
 		}
 		t.Cleanup(func() { st.Close() })
 	}
-	js := newJobServer(ctx, 2, st, reg, ring)
-	srv := httptest.NewServer(serveMux(reg, ring, js))
+	js := newJobServer(ctx, jobServerConfig{workers: 2, store: st, reg: reg, ring: ring})
+	srv := httptest.NewServer(serveMux(reg, ring, js, newHealth()))
 	t.Cleanup(srv.Close)
 	return srv, st
 }
@@ -59,7 +59,7 @@ func TestSubmitPollResultEndToEnd(t *testing.T) {
 	srv, st := startDaemon(t, ctx, t.TempDir())
 
 	jobs := quickJobs()
-	set, err := submitAndWait(ctx, srv.URL, jobs, 10*time.Millisecond, io.Discard)
+	id, set, err := submitAndWait(ctx, newClient(srv.URL, nil), jobs, "", 10*time.Millisecond, io.Discard)
 	if err != nil {
 		t.Fatalf("submitAndWait: %v", err)
 	}
@@ -90,17 +90,42 @@ func TestSubmitPollResultEndToEnd(t *testing.T) {
 			last.Job, last.Result)
 	}
 
-	// Same batch again: the daemon's shared cache serves every job.
-	again, err := submitAndWait(ctx, srv.URL, jobs, 10*time.Millisecond, io.Discard)
+	// The identical batch again: ids are content-addressed, so the
+	// daemon recognizes the set and returns it without re-running
+	// anything.
+	againID, again, err := submitAndWait(ctx, newClient(srv.URL, nil), jobs, "", 10*time.Millisecond, io.Discard)
 	if err != nil {
 		t.Fatalf("resubmit: %v", err)
 	}
+	if againID != id {
+		t.Fatalf("identical resubmission got id %s, want the original %s (content-addressed)", againID, id)
+	}
 	for i, js := range again.Jobs {
-		if js.State != api.JobDone || js.Source != "cache hit" {
-			t.Fatalf("resubmitted job %d = (%s, %q), want done cache hit", i, js.State, js.Source)
+		if js.State != api.JobDone || *js.Result != *set.Jobs[i].Result {
+			t.Fatalf("resubmitted job %d = (%s, %+v), want the original done result %+v",
+				i, js.State, js.Result, set.Jobs[i].Result)
 		}
-		if *js.Result != *set.Jobs[i].Result {
-			t.Fatalf("resubmitted job %d result differs:\ncold: %+v\nwarm: %+v", i, set.Jobs[i].Result, js.Result)
+	}
+
+	// The same jobs in a different order form a different set, whose
+	// jobs are all served from the daemon's shared cache.
+	rev := make([]api.Job, len(jobs))
+	for i, j := range jobs {
+		rev[len(jobs)-1-i] = j
+	}
+	revID, warm, err := submitAndWait(ctx, newClient(srv.URL, nil), rev, "", 10*time.Millisecond, io.Discard)
+	if err != nil {
+		t.Fatalf("reordered resubmit: %v", err)
+	}
+	if revID == id {
+		t.Fatalf("reordered batch reused id %s; canonical order should address a different set", id)
+	}
+	for i, js := range warm.Jobs {
+		if js.State != api.JobDone || js.Source != "cache hit" {
+			t.Fatalf("warm job %d = (%s, %q), want done cache hit", i, js.State, js.Source)
+		}
+		if *js.Result != *set.Jobs[len(jobs)-1-i].Result {
+			t.Fatalf("warm job %d result differs:\ncold: %+v\nwarm: %+v", i, set.Jobs[len(jobs)-1-i].Result, js.Result)
 		}
 	}
 
@@ -140,6 +165,8 @@ func TestSubmitValidationAndErrors(t *testing.T) {
 		{`{"jobs":[{"group":"nope","app":"fib","design":"S+"}]}`, "unknown group"},
 		{`{"jobs":[{"group":"cilk","app":"nope","design":"S+"}]}`, "unknown app"},
 		{`{"jobs":[{"group":"cilk","app":"fib","design":"nope"}]}`, "design"},
+		{`{"jobs":[{"group":"cilk","app":"fib","design":"S+","timeout_ms":-1}]}`, "timeout_ms"},
+		{`{"jobs":[{"group":"cilk","app":"fib","design":"S+","timeout_ms":999999999999}]}`, "server cap"},
 	} {
 		code, msg := post(tc.body)
 		if code != http.StatusBadRequest || !strings.Contains(msg, tc.wantErr) {

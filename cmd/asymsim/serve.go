@@ -11,13 +11,29 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"asymfence"
 	"asymfence/internal/buildinfo"
+	"asymfence/internal/journal"
 )
+
+// health backs the /healthz and /readyz probes: liveness is implicit
+// (the handler answering at all), readiness flips off when the daemon
+// starts draining so load balancers stop routing new submissions to a
+// process that is about to exit.
+type health struct{ ready atomic.Bool }
+
+// newHealth returns a health that starts ready.
+func newHealth() *health {
+	h := &health{}
+	h.ready.Store(true)
+	return h
+}
 
 // progressRing is a concurrency-safe io.Writer that keeps the most
 // recent complete progress lines for the /progress endpoint. Partial
@@ -69,11 +85,25 @@ func (r *progressRing) Snapshot() ([]string, int) {
 
 // serveMux builds the observability HTTP handler: /metrics (Prometheus
 // text by default, ?format=json for the JSON snapshot), /debug/pprof/*
-// (the Go profiler), /progress (the live batch progress tail) and a
-// root index page. A non-nil jobs server additionally mounts the /v1
-// job-service endpoints (see the api package).
-func serveMux(reg *asymfence.MetricsRegistry, ring *progressRing, js *jobServer) *http.ServeMux {
+// (the Go profiler), /progress (the live batch progress tail),
+// /healthz + /readyz probes and a root index page. A non-nil jobs
+// server additionally mounts the /v1 job-service endpoints (see the
+// api package).
+func serveMux(reg *asymfence.MetricsRegistry, ring *progressRing, js *jobServer, hs *health) *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if hs != nil && !hs.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
@@ -109,6 +139,8 @@ func serveMux(reg *asymfence.MetricsRegistry, ring *progressRing, js *jobServer)
 			"  /metrics              Prometheus text format\n"+
 			"  /metrics?format=json  deterministic JSON snapshot\n"+
 			"  /progress             live batch progress tail\n"+
+			"  /healthz              liveness probe\n"+
+			"  /readyz               readiness probe (503 while draining)\n"+
 			"  /debug/pprof/         Go profiler\n", buildinfo.Get())
 		if js != nil {
 			fmt.Fprint(w, "  POST /v1/jobs         submit a simulation batch (api.SubmitRequest)\n"+
@@ -138,8 +170,12 @@ func serveCmd(ctx context.Context, args []string) int {
 	jobs := fs.Int("j", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 	quiet := fs.Bool("q", false, "suppress per-job progress lines on stderr (/progress still updates)")
 	hold := fs.Bool("hold", false, "keep serving after the run completes, until interrupted")
-	storeDir := fs.String("store", "", "persistent measurement store directory (warm configs load from disk)")
+	storeDir := fs.String("store", "", "persistent measurement store directory (warm configs load from disk; daemon mode also journals job sets under it)")
 	metricsOut := fs.String("metrics", "", "also write the final metrics snapshot to this file as JSON (\"-\" = stdout)")
+	drainD := fs.Duration("drain", 5*time.Second, "graceful-shutdown grace: how long to let in-flight jobs and requests finish on interrupt")
+	deadline := fs.Duration("deadline", 10*time.Minute, "default per-job wall-clock deadline (jobs may override with timeout_ms)")
+	maxDeadline := fs.Duration("max-deadline", 2*time.Hour, "cap on per-job timeout_ms overrides (larger requests are rejected)")
+	maxQueue := fs.Int("maxqueue", 4096, "admission bound on outstanding jobs; beyond it submissions get 429")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: asymsim serve [flags] [experiment]\n"+
 			"       e.g. asymsim serve -listen :6060 all    (run one experiment, observable)\n"+
@@ -184,15 +220,34 @@ func serveCmd(ctx context.Context, args []string) int {
 	}
 	var js *jobServer
 	if daemon {
-		js = newJobServer(ctx, *jobs, st, reg, ring)
+		var jn *journal.Journal
+		if *storeDir != "" {
+			var err error
+			jn, err = journal.Open(filepath.Join(*storeDir, "jobs"), journal.Options{})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "asymsim serve:", err)
+				return 1
+			}
+			if n := jn.Corrupt(); n > 0 {
+				fmt.Fprintf(os.Stderr, "asymsimd: dropped %d corrupt journal record(s); affected sets re-form on resubmission\n", n)
+			}
+		}
+		// The job server runs under its own lifetime, not the interrupt
+		// context: an interrupt triggers the graceful drain below rather
+		// than hard-canceling every running job on the spot.
+		js = newJobServer(context.Background(), jobServerConfig{
+			workers: *jobs, store: st, reg: reg, ring: ring, journal: jn,
+			defaultTimeout: *deadline, maxTimeout: *maxDeadline, maxQueue: *maxQueue,
+		})
 	}
+	hs := newHealth()
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "asymsim serve:", err)
 		return 1
 	}
-	srv := &http.Server{Handler: serveMux(reg, ring, js)}
+	srv := &http.Server{Handler: serveMux(reg, ring, js, hs)}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -237,7 +292,16 @@ func serveCmd(ctx context.Context, args []string) int {
 			<-ctx.Done()
 		}
 	}
-	shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	// Graceful shutdown: flip readiness off (load balancers stop routing
+	// here), drain the job service (refuse new submissions, let in-flight
+	// jobs finish within the grace, journal the rest as interrupted),
+	// then close the HTTP server within the same grace.
+	hs.ready.Store(false)
+	if js != nil {
+		fmt.Fprintf(os.Stderr, "asymsimd: draining (up to %s) ...\n", *drainD)
+		js.drain(*drainD)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainD)
 	defer cancel()
 	srv.Shutdown(shutCtx)
 	<-serveErr

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -20,6 +23,11 @@ import (
 // service. It submits a batch of (group:app under every design, or one
 // -design) jobs to a running asymsimd, polls the job set until every
 // job reaches a terminal state, and prints one result line per job.
+// Transient failures — connection refused, 5xx, 429 with Retry-After —
+// retry with jittered exponential backoff, so a daemon restart or a
+// shed submission mid-run is survived rather than fatal; on interrupt
+// (or an exhausted retry budget) the job-set id is reported so the run
+// can be picked up later with -resume.
 func submitCmd(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("asymsim submit", flag.ExitOnError)
 	addr := fs.String("addr", "http://localhost:6060", "asymsimd base URL")
@@ -27,45 +35,58 @@ func submitCmd(ctx context.Context, args []string) int {
 	cores := fs.Int("cores", 8, "core count (power of two)")
 	scale := fs.Float64("scale", 0.25, "execution-time run scale")
 	horizon := fs.Int64("horizon", 0, "throughput-run length in cycles (0 = server default)")
+	timeout := fs.Duration("timeout", 0, "per-job wall-clock deadline override (0 = server default)")
 	interval := fs.Duration("poll", 200*time.Millisecond, "poll interval")
+	retries := fs.Int("retries", 8, "transient-failure retry budget per request")
+	resume := fs.String("resume", "", "poll this existing job-set id instead of submitting")
 	quiet := fs.Bool("q", false, "suppress progress lines on stderr")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: asymsim submit [flags] <group>:<app> [<group>:<app> ...]\n"+
-			"       e.g. asymsim submit -addr http://localhost:6060 cilk:fib ustm:List\n\nflags:\n")
+			"       e.g. asymsim submit -addr http://localhost:6060 cilk:fib ustm:List\n"+
+			"            asymsim submit -resume set-0123456789abcdef   (pick up an interrupted run)\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
-	if fs.NArg() == 0 {
+	if (fs.NArg() == 0) == (*resume == "") {
 		fs.Usage()
 		return 2
 	}
 
-	var designs []string
-	if *design != "" {
-		designs = []string{*design}
-	} else {
-		for _, d := range append(asymfence.AllDesigns, asymfence.CFenceDesign) {
-			designs = append(designs, d.String())
-		}
-	}
 	var jobs []api.Job
-	for _, spec := range fs.Args() {
-		group, app, ok := strings.Cut(spec, ":")
-		if !ok {
-			fmt.Fprintf(os.Stderr, "asymsim submit: workload spec must be <group>:<app>, got %q\n", spec)
-			return 2
+	if *resume == "" {
+		var designs []string
+		if *design != "" {
+			designs = []string{*design}
+		} else {
+			for _, d := range append(asymfence.AllDesigns, asymfence.CFenceDesign) {
+				designs = append(designs, d.String())
+			}
 		}
-		for _, d := range designs {
-			jobs = append(jobs, api.Job{
-				Group: group, App: app, Design: d,
-				Cores: *cores, Scale: *scale, Horizon: *horizon,
-			})
+		for _, spec := range fs.Args() {
+			group, app, ok := strings.Cut(spec, ":")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "asymsim submit: workload spec must be <group>:<app>, got %q\n", spec)
+				return 2
+			}
+			for _, d := range designs {
+				jobs = append(jobs, api.Job{
+					Group: group, App: app, Design: d,
+					Cores: *cores, Scale: *scale, Horizon: *horizon,
+					TimeoutMS: timeout.Milliseconds(),
+				})
+			}
 		}
 	}
 
-	set, err := submitAndWait(ctx, *addr, jobs, *interval, progressWriter(*quiet))
+	cl := newClient(*addr, nil)
+	cl.retries = *retries
+	id, set, err := submitAndWait(ctx, cl, jobs, *resume, *interval, progressWriter(*quiet))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "asymsim submit:", err)
+		if id != "" {
+			fmt.Fprintf(os.Stderr, "asymsim submit: job set %s may still be running; pick it up with:\n"+
+				"  asymsim submit -addr %s -resume %s\n", id, *addr, id)
+		}
 		return 1
 	}
 	failed := 0
@@ -79,7 +100,11 @@ func submitCmd(ctx context.Context, args []string) int {
 				100*m.Busy, 100*m.FenceStall, m.SFences, m.WFences, js.Source)
 		default:
 			failed++
-			fmt.Printf("%-6s %-10s %-8s FAILED: %s\n", j.Group, j.App, j.Design, js.Error)
+			kind := js.ErrorKind
+			if kind == "" {
+				kind = string(js.State)
+			}
+			fmt.Printf("%-6s %-10s %-8s FAILED (%s): %s\n", j.Group, j.App, j.Design, kind, firstLine(js.Error))
 		}
 	}
 	if failed > 0 {
@@ -87,6 +112,15 @@ func submitCmd(ctx context.Context, args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// firstLine truncates a multi-line error (panic stacks, hung-job
+// flight-recorder tails) to its headline for the one-line result table.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " [...]"
+	}
+	return s
 }
 
 // progressWriter returns stderr unless quiet.
@@ -97,74 +131,189 @@ func progressWriter(quiet bool) io.Writer {
 	return os.Stderr
 }
 
-// submitAndWait posts one job batch to an asymsimd at base and polls
-// its job set every interval until done (or ctx cancels). It is the
-// whole client protocol in one function, shared by the CLI and the
-// end-to-end test.
-func submitAndWait(ctx context.Context, base string, jobs []api.Job,
-	interval time.Duration, progress io.Writer) (*api.JobSet, error) {
+// client is the resilient /v1 HTTP client: every request retries
+// transient failures (transport errors, 5xx, 429) with jittered
+// exponential backoff up to a budget, honoring Retry-After when the
+// server provides one.
+type client struct {
+	base string
+	hc   *http.Client
+	// retries is the per-request transient-failure budget (attempts =
+	// retries + 1).
+	retries int
+	// backoff and backoffCap bound the jittered exponential delay.
+	backoff, backoffCap time.Duration
+}
 
-	base = strings.TrimSuffix(base, "/")
-	body, err := json.Marshal(api.SubmitRequest{Jobs: jobs})
-	if err != nil {
-		return nil, err
+// newClient returns a client for an asymsimd at base; a nil hc uses
+// http.DefaultClient (tests inject fault-wrapped transports).
+func newClient(base string, hc *http.Client) *client {
+	if hc == nil {
+		hc = http.DefaultClient
 	}
-	req, err := http.NewRequestWithContext(ctx, "POST", base+"/"+api.Version+"/jobs", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
+	return &client{
+		base:    strings.TrimSuffix(base, "/"),
+		hc:      hc,
+		retries: 8, backoff: 100 * time.Millisecond, backoffCap: 5 * time.Second,
 	}
-	req.Header.Set("Content-Type", "application/json")
-	var sub api.SubmitResponse
-	if err := doJSON(req, http.StatusAccepted, &sub); err != nil {
-		return nil, err
-	}
-	fmt.Fprintf(progress, "asymsim submit: %s accepted (%d jobs)\n", sub.ID, sub.Jobs)
+}
 
-	lastDone := -1
-	for {
-		req, err := http.NewRequestWithContext(ctx, "GET", base+"/"+api.Version+"/jobs/"+sub.ID, nil)
-		if err != nil {
-			return nil, err
+// transientError marks a failed attempt the client may retry.
+type transientError struct {
+	err        error
+	retryAfter time.Duration // server-requested wait (0: backoff decides)
+}
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// doJSON executes one logical request against path (body may be nil),
+// retrying transient failures, enforcing the expected status (decoding
+// an api.Error body otherwise) and decoding the response into out. The
+// request body is rebuilt from the byte slice on every attempt, so
+// retries never resend a half-consumed reader.
+func (c *client) doJSON(ctx context.Context, method, path string, body []byte, wantStatus int, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, path, body, wantStatus, out)
+		if err == nil {
+			return nil
 		}
-		var set api.JobSet
-		if err := doJSON(req, http.StatusOK, &set); err != nil {
-			return nil, err
+		var te *transientError
+		if !errors.As(err, &te) || attempt >= c.retries {
+			return err
 		}
-		done := 0
-		for _, js := range set.Jobs {
-			if js.State == api.JobDone || js.State == api.JobFailed {
-				done++
-			}
-		}
-		if done != lastDone {
-			fmt.Fprintf(progress, "asymsim submit: %s %d/%d jobs done\n", sub.ID, done, len(set.Jobs))
-			lastDone = done
-		}
-		if set.Done {
-			return &set, nil
+		lastErr = err
+		wait := te.retryAfter
+		if wait <= 0 {
+			wait = c.jitteredBackoff(attempt)
 		}
 		select {
 		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(interval):
+			return fmt.Errorf("%w (last attempt: %v)", ctx.Err(), lastErr)
+		case <-time.After(wait):
 		}
 	}
 }
 
-// doJSON executes req, enforces the expected status (decoding an
-// api.Error body otherwise) and decodes the response into out.
-func doJSON(req *http.Request, wantStatus int, out any) error {
-	resp, err := http.DefaultClient.Do(req)
+// jitteredBackoff returns the wait before retry number attempt+1:
+// exponential from c.backoff, capped at c.backoffCap, with ±50% jitter
+// so clients recovering from one daemon restart don't stampede it in
+// lockstep.
+func (c *client) jitteredBackoff(attempt int) time.Duration {
+	d := c.backoff << uint(attempt)
+	if d <= 0 || d > c.backoffCap {
+		d = c.backoffCap
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// once runs a single attempt; transient failures come back as
+// *transientError.
+func (c *client) once(ctx context.Context, method, path string, body []byte, wantStatus int, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// Transport-level failure: connection refused (daemon
+		// restarting), reset, injected drop. All retryable.
+		return &transientError{err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != wantStatus {
 		var ae api.Error
+		msg := resp.Status
 		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
-			return fmt.Errorf("%s: %s", resp.Status, ae.Error)
+			msg = resp.Status + ": " + ae.Error
+		} else {
+			msg = fmt.Sprintf("%s %s: %s", method, req.URL, resp.Status)
 		}
-		return fmt.Errorf("%s %s: %s", req.Method, req.URL, resp.Status)
+		err := errors.New(msg)
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			return &transientError{err: err, retryAfter: retryAfter(resp)}
+		}
+		return err
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// retryAfter parses a Retry-After header as delay seconds (0 when
+// absent or unparseable — the client's own backoff applies).
+func retryAfter(resp *http.Response) time.Duration {
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(s)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// submitAndWait posts one job batch to an asymsimd (or, when resume is
+// non-empty, skips the post and polls that existing job-set id) and
+// polls the set every interval until every job is terminal, ctx
+// cancels, or the retry budget runs out. It is the whole client
+// protocol in one function, shared by the CLI and the end-to-end
+// tests. The job-set id is returned even on error once known, so a
+// canceled or disconnected wait can be resumed rather than lost.
+func submitAndWait(ctx context.Context, cl *client, jobs []api.Job, resume string,
+	interval time.Duration, progress io.Writer) (string, *api.JobSet, error) {
+
+	id := resume
+	if id == "" {
+		body, err := json.Marshal(api.SubmitRequest{Jobs: jobs})
+		if err != nil {
+			return "", nil, err
+		}
+		var sub api.SubmitResponse
+		if err := cl.doJSON(ctx, "POST", "/"+api.Version+"/jobs", body, http.StatusAccepted, &sub); err != nil {
+			return "", nil, err
+		}
+		id = sub.ID
+		if sub.Existing {
+			fmt.Fprintf(progress, "asymsim submit: %s already known to the daemon (%d jobs); polling it\n", sub.ID, sub.Jobs)
+		} else {
+			fmt.Fprintf(progress, "asymsim submit: %s accepted (%d jobs)\n", sub.ID, sub.Jobs)
+		}
+	}
+
+	lastDone := -1
+	for {
+		var set api.JobSet
+		if err := cl.doJSON(ctx, "GET", "/"+api.Version+"/jobs/"+id, nil, http.StatusOK, &set); err != nil {
+			return id, nil, err
+		}
+		done := 0
+		for _, js := range set.Jobs {
+			if js.State.Terminal() {
+				done++
+			}
+		}
+		if done != lastDone {
+			fmt.Fprintf(progress, "asymsim submit: %s %d/%d jobs done\n", id, done, len(set.Jobs))
+			lastDone = done
+		}
+		if set.Done {
+			return id, &set, nil
+		}
+		select {
+		case <-ctx.Done():
+			return id, nil, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
 }

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
 	"sync"
@@ -220,14 +221,56 @@ type Session[V any] struct {
 	jobs, hits, storeHits, sims atomic.Int64
 }
 
+// PanicError is a panicking simulation converted into an ordinary
+// per-job failure: the worker that would have died recovers the panic
+// and fails only that job, so one bad simulation cannot take down the
+// whole process (in particular, a long-lived asymsimd). The recovered
+// value and a stack excerpt travel with the error.
+type PanicError struct {
+	// Spec is the job that panicked.
+	Spec Spec
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack (truncated).
+	Stack string
+}
+
+// panicStackMax bounds the stack excerpt a PanicError retains.
+const panicStackMax = 4 << 10
+
+// Error renders the panic with its stack excerpt.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %s panicked: %v\n%s", e.Spec, e.Value, e.Stack)
+}
+
+// recoverExec wraps exec so a panic returns a *PanicError instead of
+// unwinding. Recovering here — inside the cache-leader call — matters
+// doubly: an unwinding leader would also never close its cache entry,
+// wedging every joiner of the same key forever.
+func recoverExec[V any](exec func(context.Context, Spec) (V, error)) func(context.Context, Spec) (V, error) {
+	return func(ctx context.Context, sp Spec) (v V, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				stack := debug.Stack()
+				if len(stack) > panicStackMax {
+					stack = stack[:panicStackMax]
+				}
+				var zero V
+				v, err = zero, &PanicError{Spec: sp, Value: r, Stack: string(stack)}
+			}
+		}()
+		return exec(ctx, sp)
+	}
+}
+
 // NewSession builds a session executing jobs with exec and memoizing
-// results in cache.
+// results in cache. Panics in exec are contained per job (PanicError).
 func NewSession[V any](cache *Cache[V], exec func(context.Context, Spec) (V, error), opts Options[V]) *Session[V] {
 	w := opts.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Session[V]{cache: cache, exec: exec, workers: w, nar: opts.Narrator,
+	return &Session[V]{cache: cache, exec: recoverExec(exec), workers: w, nar: opts.Narrator,
 		tier: opts.Tier, mx: newSessionMetrics(opts.Metrics, opts.Tier != nil)}
 }
 

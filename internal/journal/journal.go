@@ -1,0 +1,211 @@
+// Package journal is the durable job journal behind asymsimd: one
+// crash-safe on-disk record per submitted job set, holding the
+// canonical job list and every job's latest known state, so a
+// restarted daemon can recover its job sets — serving finished jobs
+// from the record and re-running unfinished ones — and clients can
+// keep polling a job-set id across daemon restarts.
+//
+// The layout under the journal directory (conventionally
+// "<store>/jobs") is one file per set:
+//
+//	sets/<id>.json   one Record per job set
+//
+// Records are written with the measurement store's atomic tmp+rename
+// discipline (store.WriteFileAtomic): a reader — this process after a
+// crash, or an operator's jq — never observes a torn record.
+// Truncated or corrupt records (torn by a crash on a non-atomic
+// filesystem, bit rot, a schema from a future version) are counted,
+// removed and forgotten on Open: the journal is an availability
+// layer, not a source of truth — measurements themselves live in the
+// content-addressed store and simulations are deterministic, so a
+// dropped record costs a re-poll 404 and, at worst, re-simulation of
+// an idempotent, content-addressed set.
+//
+// Set ids are content-addressed (SetID): the hex-truncated SHA-256 of
+// the canonical job list. Equal batches get equal ids, which is what
+// makes client resubmission after a crash or lost response idempotent.
+//
+// A nil *Journal is valid and persists nothing, so the daemon runs
+// unjournaled (memory-only job state) when no store directory is
+// configured.
+package journal
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"asymfence/api"
+	"asymfence/internal/store"
+)
+
+// Schema is the record format tag. Records with any other schema value
+// are dropped on Open, so the format can evolve without poisoning old
+// binaries.
+const Schema = "asymfence-journal/v1"
+
+// Record is the on-disk state of one job set: the canonical jobs and
+// their latest journaled statuses. It deliberately reuses the wire
+// types (package api) — the journal's job of record *is* the service's
+// visible state, and the two must not drift.
+type Record struct {
+	// Schema is the record format tag (Schema).
+	Schema string `json:"schema"`
+	// ID is the set's content-addressed id (SetID of Jobs' specs).
+	ID string `json:"id"`
+	// Jobs holds each job's canonical spec and latest journaled state,
+	// in submission order.
+	Jobs []api.JobStatus `json:"jobs"`
+}
+
+// SetID returns the content-addressed job-set id for a canonical job
+// list: "set-" + the first 16 hex digits of the SHA-256 of its JSON.
+// Callers must canonicalize first (defaults filled, design spelling
+// normalized) so equivalent submissions collide, which is the point.
+func SetID(jobs []api.Job) string {
+	b, err := json.Marshal(jobs)
+	if err != nil {
+		// api.Job is a plain struct of scalars; this cannot fail.
+		panic("journal: marshaling canonical jobs: " + err.Error())
+	}
+	h := sha256.Sum256(b)
+	return "set-" + hex.EncodeToString(h[:])[:16]
+}
+
+// Options configure Open.
+type Options struct {
+	// WriteFile, when non-nil, replaces store.WriteFileAtomic as the
+	// record persistence primitive — the fault-injection seam the chaos
+	// harness wraps (internal/faults.WriteFaults). Production opens
+	// leave it nil.
+	WriteFile func(path string, data []byte) error
+}
+
+// Journal is an open journal directory. All methods are safe for
+// concurrent use. A nil *Journal is valid: Put succeeds without
+// persisting, Get always misses, Records is empty.
+type Journal struct {
+	dir       string
+	writeFile func(path string, data []byte) error
+
+	mu      sync.Mutex
+	recs    map[string]Record
+	corrupt int
+}
+
+// Open opens (creating if necessary) the journal rooted at dir and
+// loads every readable record. Leftover temporary files and records
+// that do not parse are removed; Corrupt reports how many.
+func Open(dir string, o Options) (*Journal, error) {
+	if o.WriteFile == nil {
+		o.WriteFile = store.WriteFileAtomic
+	}
+	setsDir := filepath.Join(dir, "sets")
+	if err := os.MkdirAll(setsDir, 0o777); err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", dir, err)
+	}
+	j := &Journal{dir: dir, writeFile: o.WriteFile, recs: map[string]Record{}}
+	files, err := os.ReadDir(setsDir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: scanning %s: %w", setsDir, err)
+	}
+	for _, f := range files {
+		path := filepath.Join(setsDir, f.Name())
+		if f.IsDir() {
+			continue
+		}
+		if filepath.Ext(f.Name()) != ".json" {
+			// Leftover temporary from a crashed writer.
+			os.Remove(path)
+			continue
+		}
+		b, rerr := os.ReadFile(path)
+		var rec Record
+		if rerr != nil || json.Unmarshal(b, &rec) != nil ||
+			rec.Schema != Schema || rec.ID == "" || len(rec.Jobs) == 0 ||
+			rec.ID != f.Name()[:len(f.Name())-len(".json")] {
+			os.Remove(path)
+			j.corrupt++
+			continue
+		}
+		j.recs[rec.ID] = rec
+	}
+	return j, nil
+}
+
+// Dir returns the journal's root directory ("" on a nil journal).
+func (j *Journal) Dir() string {
+	if j == nil {
+		return ""
+	}
+	return j.dir
+}
+
+// Corrupt returns how many unreadable records Open dropped.
+func (j *Journal) Corrupt() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.corrupt
+}
+
+// path returns the record file for a set id.
+func (j *Journal) path(id string) string {
+	return filepath.Join(j.dir, "sets", id+".json")
+}
+
+// Put journals the current state of one job set, replacing any previous
+// record for the same id. The in-memory copy always updates; a disk
+// error is returned but non-fatal by design (the journal degrades to
+// memory-only durability for that set until the next Put succeeds).
+func (j *Journal) Put(id string, jobs []api.JobStatus) error {
+	if j == nil {
+		return nil
+	}
+	rec := Record{Schema: Schema, ID: id, Jobs: append([]api.JobStatus(nil), jobs...)}
+	j.mu.Lock()
+	j.recs[id] = rec
+	j.mu.Unlock()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: marshaling %s: %w", id, err)
+	}
+	if err := j.writeFile(j.path(id), b); err != nil {
+		return fmt.Errorf("journal: writing %s: %w", id, err)
+	}
+	return nil
+}
+
+// Get returns the journaled record for a set id, or ok=false.
+func (j *Journal) Get(id string) (Record, bool) {
+	if j == nil {
+		return Record{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.recs[id]
+	return rec, ok
+}
+
+// Records returns every journaled record, sorted by id so recovery
+// order is deterministic.
+func (j *Journal) Records() []Record {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Record, 0, len(j.recs))
+	for _, r := range j.recs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}

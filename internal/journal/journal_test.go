@@ -1,0 +1,183 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asymfence/api"
+	"asymfence/internal/faults"
+	"asymfence/internal/store"
+)
+
+func jobs() []api.Job {
+	return []api.Job{
+		{Group: "ustm", App: "Counter", Design: "S+", Cores: 4, Horizon: 3000},
+		{Group: "cilk", App: "fib", Design: "Wee", Cores: 4, Scale: 0.05},
+	}
+}
+
+func statuses(js []api.Job) []api.JobStatus {
+	out := make([]api.JobStatus, len(js))
+	for i, j := range js {
+		out[i] = api.JobStatus{Job: j, State: api.JobPending}
+	}
+	return out
+}
+
+func TestSetIDStableAndOrderSensitive(t *testing.T) {
+	a, b := jobs(), jobs()
+	if SetID(a) != SetID(b) {
+		t.Fatalf("equal job lists got different ids: %s vs %s", SetID(a), SetID(b))
+	}
+	if !strings.HasPrefix(SetID(a), "set-") || len(SetID(a)) != len("set-")+16 {
+		t.Fatalf("id %q not in set-<16 hex> form", SetID(a))
+	}
+	b[0], b[1] = b[1], b[0]
+	if SetID(a) == SetID(b) {
+		t.Fatalf("reordered job list reused id %s; order is part of the canonical content", SetID(a))
+	}
+	b = jobs()
+	b[0].Cores = 8
+	if SetID(a) == SetID(b) {
+		t.Fatalf("different jobs reused id %s", SetID(a))
+	}
+}
+
+func TestPutGetReopenRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	sts := statuses(jobs())
+	id := SetID(jobs())
+	if err := j.Put(id, sts); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	sts[0].State = api.JobDone
+	sts[0].Result = &api.Measurement{Cycles: 42, Busy: 0.5}
+	if err := j.Put(id, sts); err != nil {
+		t.Fatalf("Put update: %v", err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	rec, ok := j2.Get(id)
+	if !ok || rec.ID != id || len(rec.Jobs) != 2 {
+		t.Fatalf("Get after reopen = (%+v, %v), want the journaled record", rec, ok)
+	}
+	if rec.Jobs[0].State != api.JobDone || rec.Jobs[0].Result == nil || rec.Jobs[0].Result.Cycles != 42 {
+		t.Fatalf("reopened record lost the update: %+v", rec.Jobs[0])
+	}
+	if rec.Jobs[1].State != api.JobPending {
+		t.Fatalf("job 1 state = %s, want pending", rec.Jobs[1].State)
+	}
+	if n := len(j2.Records()); n != 1 {
+		t.Fatalf("Records() has %d entries, want 1", n)
+	}
+}
+
+func TestOpenDropsCorruptAndForeignRecords(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	good := SetID(jobs())
+	if err := j.Put(good, statuses(jobs())); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	sets := filepath.Join(dir, "sets")
+	// Torn JSON, wrong schema, id/filename mismatch, leftover tmp file.
+	os.WriteFile(filepath.Join(sets, "set-torn.json"), []byte(`{"schema":"asymfence-jo`), 0o666)
+	bad, _ := json.Marshal(Record{Schema: "asymfence-journal/v999", ID: "set-future", Jobs: statuses(jobs())})
+	os.WriteFile(filepath.Join(sets, "set-future.json"), bad, 0o666)
+	mis, _ := json.Marshal(Record{Schema: Schema, ID: "set-other", Jobs: statuses(jobs())})
+	os.WriteFile(filepath.Join(sets, "set-renamed.json"), mis, 0o666)
+	os.WriteFile(filepath.Join(sets, "tmp-12345"), []byte("partial"), 0o666)
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen over corruption: %v", err)
+	}
+	if got := j2.Corrupt(); got != 3 {
+		t.Errorf("Corrupt() = %d, want 3", got)
+	}
+	if _, ok := j2.Get(good); !ok {
+		t.Errorf("good record lost during corruption cleanup")
+	}
+	if len(j2.Records()) != 1 {
+		t.Errorf("Records() = %d entries, want only the good one", len(j2.Records()))
+	}
+	// The cleanup is physical: corrupt files are gone.
+	files, _ := os.ReadDir(sets)
+	if len(files) != 1 {
+		t.Errorf("sets dir still has %d files, want 1: %v", len(files), files)
+	}
+}
+
+func TestPutDegradesUnderWriteFaults(t *testing.T) {
+	dir := t.TempDir()
+	wf := faults.NewWriteFaults(7, faults.DefaultFS())
+	wfJ, err := Open(dir, Options{WriteFile: wf.Wrap(store.WriteFileAtomic)})
+	if err != nil {
+		t.Fatalf("Open faulty: %v", err)
+	}
+	ids := make([]string, 0, 64)
+	failures := 0
+	for i := 0; i < 64; i++ {
+		js := jobs()
+		js[0].Horizon = int64(1000 + i)
+		id := SetID(js)
+		ids = append(ids, id)
+		if err := wfJ.Put(id, statuses(js)); err != nil {
+			failures++
+		}
+		// The in-memory copy is authoritative regardless of disk faults.
+		if _, ok := wfJ.Get(id); !ok {
+			t.Fatalf("Put %d: in-memory record missing after faulted write", i)
+		}
+	}
+	if failures == 0 {
+		t.Fatalf("no injected write failures in 64 puts; fault schedule did not fire")
+	}
+
+	// A reopen sees only intact records — torn ones are dropped, never
+	// misparsed into wrong state.
+	j3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after faults: %v", err)
+	}
+	recovered := 0
+	for _, id := range ids {
+		if rec, ok := j3.Get(id); ok {
+			recovered++
+			if rec.ID != id || len(rec.Jobs) != 2 {
+				t.Fatalf("recovered record %s is mangled: %+v", id, rec)
+			}
+		}
+	}
+	if recovered == 0 {
+		t.Fatalf("no records survived the fault schedule; expected some clean writes")
+	}
+	t.Logf("64 puts: %d write failures, %d dropped-corrupt, %d recovered",
+		failures, j3.Corrupt(), recovered)
+}
+
+func TestNilJournalIsInert(t *testing.T) {
+	var j *Journal
+	if err := j.Put("set-x", statuses(jobs())); err != nil {
+		t.Fatalf("nil Put: %v", err)
+	}
+	if _, ok := j.Get("set-x"); ok {
+		t.Fatalf("nil Get hit")
+	}
+	if j.Records() != nil || j.Dir() != "" || j.Corrupt() != 0 {
+		t.Fatalf("nil journal leaked state")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"asymfence/internal/faults"
 	"asymfence/internal/metrics"
 )
 
@@ -319,4 +320,100 @@ func recordSize(t *testing.T, dir string) int64 {
 		t.Fatal("no record files found")
 	}
 	return size
+}
+
+// TestWriteFaultsDegradeToMisses drives the store through the chaos
+// harness's write-fault seam: injected write errors, ENOSPC and torn
+// files must only ever cost re-simulation (misses) — a Get either
+// returns the exact bytes that were Put or misses, never wrong data,
+// on both the live handle and a fresh open.
+func TestWriteFaultsDegradeToMisses(t *testing.T) {
+	dir := t.TempDir()
+	wf := faults.NewWriteFaults(13, faults.DefaultFS())
+	s := open(t, dir, Options{WriteFile: wf.Wrap(WriteFileAtomic)})
+
+	want := map[string]string{}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		payload := fmt.Sprintf(`{"v":%d}`, i)
+		want[key] = payload
+		s.Put(key, json.RawMessage(payload))
+	}
+	s.Flush()
+
+	hits := 0
+	for key, payload := range want {
+		if got, ok := s.Get(key); ok {
+			hits++
+			if string(got) != payload {
+				t.Fatalf("live Get(%s) = %q, want %q or a miss", key, got, payload)
+			}
+		}
+	}
+	if hits == 0 || hits == len(want) {
+		t.Fatalf("live hits = %d of %d; fault mix should lose some writes but not all", hits, len(want))
+	}
+	s.Close()
+
+	r := open(t, dir, Options{})
+	defer r.Close()
+	rehits := 0
+	for key, payload := range want {
+		if got, ok := r.Get(key); ok {
+			rehits++
+			if string(got) != payload {
+				t.Fatalf("reopened Get(%s) = %q, want %q or a miss", key, got, payload)
+			}
+		}
+	}
+	if rehits == 0 {
+		t.Fatal("no records survived the fault schedule; expected some clean writes")
+	}
+	t.Logf("64 faulted puts: %d live hits, %d after reopen, %d corrupt dropped",
+		hits, rehits, r.Stats().Corrupt)
+}
+
+// TestConcurrentEvictionVsGet races the background writer's LRU
+// eviction against concurrent readers on a tiny budget: every Get must
+// either hit with the exact put bytes or miss cleanly, while the
+// writer is continuously evicting underneath.
+func TestConcurrentEvictionVsGet(t *testing.T) {
+	dir := t.TempDir()
+	// Budget of a handful of records, so most writes trigger eviction.
+	s := open(t, dir, Options{MaxBytes: 1500})
+	defer s.Close()
+
+	const keys = 16
+	payload := func(i int) string { return fmt.Sprintf(`{"v":%d,"pad":%q}`, i, strings.Repeat("x", 80)) }
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 40; round++ {
+			for i := 0; i < keys; i++ {
+				s.Put(fmt.Sprintf("key-%d", i), json.RawMessage(payload(i)))
+			}
+			s.Flush()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 400; round++ {
+			i := round % keys
+			if got, ok := s.Get(fmt.Sprintf("key-%d", i)); ok && string(got) != payload(i) {
+				t.Errorf("Get(key-%d) mid-eviction = %q, want %q or a miss", i, got, payload(i))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a 1500-byte budget while racing reads: %+v", st)
+	}
+	if st.Bytes > 1500 {
+		t.Fatalf("store over budget: %+v", st)
+	}
 }
