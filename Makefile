@@ -4,10 +4,10 @@
 GO ?= go
 
 .PHONY: check fmt vet doccheck build test race race-runner check-store \
-	check-service smoke bench bench-snapshot bench-baseline bench-metrics \
-	check-invariants fuzz-smoke
+	check-service check-runtime smoke bench bench-snapshot bench-baseline \
+	bench-metrics bench-hw check-invariants fuzz-smoke
 
-check: fmt vet doccheck build test race-runner check-store check-service check-invariants fuzz-smoke smoke
+check: fmt vet doccheck build test race-runner check-store check-service check-invariants check-runtime fuzz-smoke smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -21,8 +21,8 @@ vet:
 # Documentation lint (tools/doccheck): package docs everywhere, doc
 # comments on every exported identifier in internal packages.
 doccheck:
-	$(GO) run ./tools/doccheck ./api ./internal/... ./cmd/... ./examples/... .
-	$(GO) run ./tools/doccheck -exported ./api ./internal/...
+	$(GO) run ./tools/doccheck ./api ./runtime/... ./internal/... ./cmd/... ./examples/... .
+	$(GO) run ./tools/doccheck -exported ./api ./runtime/... ./internal/...
 
 build:
 	$(GO) build ./...
@@ -67,10 +67,31 @@ check-service:
 	$(GO) test -race -count=1 -run 'WriteFaults|RoundTripper' ./internal/faults/
 	$(GO) test -race -count=1 -run 'TestPanicContainment' ./internal/experiments/runner/
 
+# The real-hardware fence runtime under the race detector: the
+# asymruntime mode/registration suite, the exactly-once deque stress
+# and the torn-read TLRW stress (each in every available fence mode),
+# and the hwbench driver's snapshot-shape tests — run twice, once
+# resolving membarrier naturally and once with the seq-cst fallback
+# forced through the environment, so the portable path cannot rot on
+# membarrier-capable CI machines (see HARDWARE.md).
+check-runtime:
+	$(GO) test -race -count=1 ./runtime/...
+	ASYMFENCE_MODE=fallback $(GO) test -race -count=1 ./runtime/...
+	$(GO) test -race -count=1 -run 'TestHWBench' ./cmd/asymsim/
+
 # Quick end-to-end sanity: the headline experiment at reduced scale on
-# a parallel worker pool.
+# a parallel worker pool, plus the real-hardware bench driver with the
+# simulator cross-validation table at smoke scale.
 smoke:
 	$(GO) run ./cmd/asymsim -scale 0.1 -horizon 20000 -j 4 headline
+	$(GO) run ./cmd/asymsim hwbench -quick
+
+# Checked-in real-hardware baseline (BENCH_PR9_HW.json): the goroutine
+# ports of the Cilk-THE deque and the TLRW STM read-lock, asymmetric
+# membarrier fences vs symmetric baselines across thread counts, with
+# the simulator's Fig. 8/9 predictions alongside (HARDWARE.md).
+bench-hw:
+	$(GO) run ./cmd/asymsim hwbench -out BENCH_PR9_HW.json
 
 # The runtime invariant oracle under the race detector: the litmus
 # suite with all checkers on for every design, the broken-fence

@@ -1,0 +1,406 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"asymfence/internal/buildinfo"
+	"asymfence/internal/experiments"
+	"asymfence/internal/fence"
+	asymruntime "asymfence/runtime"
+	"asymfence/runtime/thedeque"
+	"asymfence/runtime/tlrw"
+)
+
+// hwRow is one (workload, variant, threads) measurement on real
+// hardware. HotOps is the figure of merit: owner Take/Push cycles for
+// the deque, read transactions for the STM lock.
+type hwRow struct {
+	Workload string `json:"workload"` // "deque" or "stm"
+	Variant  string `json:"variant"`  // "symmetric", "asymmetric", "asymmetric-fallback"
+	Mode     string `json:"mode"`     // fence mode in effect for this row
+	Threads  int    `json:"threads"`  // stealers (deque) or readers (stm)
+	// HotOps / HotOpsPerSec measure the performance-critical side.
+	HotOps       int64   `json:"hot_ops"`
+	HotOpsPerSec float64 `json:"hot_ops_per_sec"`
+	// RareOps counts the heavy side: completed steals / write commits.
+	RareOps int64 `json:"rare_ops"`
+	// FailedSteals counts empty steal attempts (deque only).
+	FailedSteals int64 `json:"failed_steals,omitempty"`
+	// TornReads counts broken-invariant transactions (stm; always 0).
+	TornReads int64   `json:"torn_reads,omitempty"`
+	Seconds   float64 `json:"seconds"`
+}
+
+// hwSpeedup is the asymmetric/symmetric ratio at one thread count.
+type hwSpeedup struct {
+	Workload string  `json:"workload"`
+	Threads  int     `json:"threads"`
+	Measured float64 `json:"measured"`
+}
+
+// hwSim records the simulator's predictions for the same fence split:
+// the WS+ (and W+) speedups over S+ from the paper's Fig. 8 (deque /
+// CilkApps execution time) and Fig. 9 (ustm throughput) artifacts,
+// regenerated in-process at the recorded scale.
+type hwSim struct {
+	Cores   int     `json:"cores"`
+	Scale   float64 `json:"scale"`
+	Horizon int64   `json:"horizon"`
+	// DequeWSPlus/DequeWPlus: predicted execution-time speedup of the
+	// CilkApps group (1 / mean exec ratio), per design.
+	DequeWSPlus float64 `json:"deque_wsplus"`
+	DequeWPlus  float64 `json:"deque_wplus"`
+	// STMWSPlus/STMWPlus: predicted mean throughput ratio of the ustm
+	// group, per design.
+	STMWSPlus float64 `json:"stm_wsplus"`
+	STMWPlus  float64 `json:"stm_wplus"`
+}
+
+// hwRuntime snapshots the fence runtime's accounting after the sweep.
+type hwRuntime struct {
+	Mode                string `json:"mode"`
+	Supported           bool   `json:"supported"`
+	Registered          bool   `json:"registered"`
+	HeavyMembarrier     int64  `json:"heavy_membarrier"`
+	HeavyFallback       int64  `json:"heavy_fallback"`
+	FallbackActivations int64  `json:"fallback_activations"`
+}
+
+// hwHost is the hardware/kernel provenance of a snapshot.
+type hwHost struct {
+	GOOS     string `json:"goos"`
+	GOARCH   string `json:"goarch"`
+	NCPU     int    `json:"ncpu"`
+	Go       string `json:"go"`
+	Kernel   string `json:"kernel,omitempty"`
+	CPU      string `json:"cpu,omitempty"`
+	Version  string `json:"version,omitempty"`
+	Revision string `json:"revision,omitempty"`
+}
+
+// hwFile is the BENCH_PR9_HW.json layout (schema asymfence-bench-hw/v1).
+type hwFile struct {
+	Schema   string      `json:"schema"`
+	Command  string      `json:"command"`
+	Date     string      `json:"date"`
+	Host     hwHost      `json:"host"`
+	Rows     []hwRow     `json:"rows"`
+	Speedups []hwSpeedup `json:"speedups"`
+	// MeanDeque/MeanSTM are geometric means of the per-thread-count
+	// asymmetric/symmetric speedups — the numbers the cross-validation
+	// table compares against the simulator's predictions.
+	MeanDeque float64   `json:"mean_deque_speedup"`
+	MeanSTM   float64   `json:"mean_stm_speedup"`
+	Sim       *hwSim    `json:"sim,omitempty"`
+	Runtime   hwRuntime `json:"runtime"`
+}
+
+// procLine reads a one-line pseudo-file, returning "" off-Linux or on
+// error — host provenance is best-effort.
+func procLine(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// cpuModel extracts the first "model name" line of /proc/cpuinfo.
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
+// geomean returns the geometric mean of xs (1.0 for an empty slice).
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// sweepCounts returns the thread counts to measure: 1, 2, 4, ... capped
+// so the owner/writer goroutine keeps a CPU of its own on big machines,
+// with a floor of 4 so the concurrency structure is exercised (via the
+// scheduler) even on small ones.
+func sweepCounts(quick bool) []int {
+	max := runtime.NumCPU() - 1
+	if max < 4 {
+		max = 4
+	}
+	var out []int
+	for n := 1; n <= max && (!quick || n <= 2); n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// hwbenchCmd handles `asymsim hwbench`: the real-hardware counterpart
+// of the simulated Fig. 8/9 artifacts. It runs the goroutine ports of
+// the Cilk-THE deque and the TLRW STM read-lock across thread counts,
+// A/B-ing the asymmetric fence pair against the symmetric baseline,
+// and prints a side-by-side table of measured speedups against the
+// simulator's predictions. See HARDWARE.md for how to read the output.
+func hwbenchCmd(ctx context.Context, args []string) int {
+	fs := flag.NewFlagSet("asymsim hwbench", flag.ExitOnError)
+	out := fs.String("out", "", "write the JSON snapshot to this file (e.g. BENCH_PR9_HW.json)")
+	dur := fs.Duration("dur", 150*time.Millisecond, "measured window per data point")
+	repeat := fs.Int("repeat", 3, "repetitions per data point (best run is kept)")
+	grain := fs.Int("grain", 0, "per-task local work in xorshift rounds (deque)")
+	mode := fs.String("mode", "auto", "fence mode: auto, membarrier, or fallback")
+	quick := fs.Bool("quick", false, "CI smoke: tiny windows, 1 repetition, reduced sweep and sim scale")
+	sim := fs.Bool("sim", true, "regenerate the simulator's Fig. 8/9 predictions for the cross-validation table")
+	simScale := fs.Float64("sim-scale", 0.25, "simulator execution-time run scale")
+	simHorizon := fs.Int64("sim-horizon", 40_000, "simulator throughput-run length in cycles")
+	metricsOut := fs.String("metrics", "", "write the run's metrics snapshot to this file as JSON (\"-\" = stdout)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: asymsim hwbench [flags]\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *quick {
+		*dur = 25 * time.Millisecond
+		*repeat = 1
+		*simScale = 0.1
+		*simHorizon = 10_000
+	}
+	m, ok := modeFromString(*mode)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "asymsim hwbench: unknown -mode %q (valid: auto, membarrier, fallback)\n", *mode)
+		return 2
+	}
+	if err := asymruntime.Use(m); err != nil {
+		fmt.Fprintln(os.Stderr, "asymsim hwbench:", err)
+		return 1
+	}
+	reg := newCLIMetrics(*metricsOut)
+
+	active := asymruntime.Active()
+	bi := buildinfo.Get()
+	file := hwFile{
+		Schema:  "asymfence-bench-hw/v1",
+		Command: "asymsim hwbench",
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Host: hwHost{
+			GOOS:     runtime.GOOS,
+			GOARCH:   runtime.GOARCH,
+			NCPU:     runtime.NumCPU(),
+			Go:       runtime.Version(),
+			Kernel:   procLine("/proc/sys/kernel/osrelease"),
+			CPU:      cpuModel(),
+			Version:  bi.Version,
+			Revision: bi.Revision,
+		},
+	}
+
+	fmt.Printf("asymsim hwbench — asymmetric fences on real silicon\n")
+	fmt.Printf("mode: %s (membarrier supported: %v) · host: %s/%s, %d cpus, %s",
+		active, asymruntime.Supported(), file.Host.GOOS, file.Host.GOARCH, file.Host.NCPU, file.Host.Go)
+	if file.Host.Kernel != "" {
+		fmt.Printf(", kernel %s", file.Host.Kernel)
+	}
+	fmt.Println()
+
+	// variants to measure: the A/B pair, plus the forced-fallback
+	// asymmetric build when the active path is membarrier — it shows
+	// what the same code costs where the syscall is unavailable.
+	type series struct {
+		name string
+		mode asymruntime.Mode
+		v    thedeque.Variant // same enum values as tlrw.Variant
+	}
+	serieses := []series{
+		{"symmetric", active, thedeque.Symmetric},
+		{"asymmetric", active, thedeque.Asymmetric},
+	}
+	if active == asymruntime.ModeMembarrier {
+		serieses = append(serieses, series{"asymmetric-fallback", asymruntime.ModeFallback, thedeque.Asymmetric})
+	}
+	counts := sweepCounts(*quick)
+
+	best := map[string]float64{} // "workload/variant/threads" -> hot ops/sec
+	measure := func(workload string, s series, threads int) (hwRow, error) {
+		if err := asymruntime.Use(s.mode); err != nil {
+			return hwRow{}, err
+		}
+		defer func() { _ = asymruntime.Use(active) }()
+		row := hwRow{Workload: workload, Variant: s.name, Mode: asymruntime.Active().String(), Threads: threads}
+		for r := 0; r < *repeat; r++ {
+			if err := ctx.Err(); err != nil {
+				return row, err
+			}
+			switch workload {
+			case "deque":
+				res := thedeque.Bench(thedeque.Variant(s.v), thedeque.BenchOptions{
+					Stealers: threads, Grain: *grain, Duration: *dur,
+				})
+				ops := float64(res.OwnerOps) / res.Elapsed.Seconds()
+				if ops > row.HotOpsPerSec {
+					row.HotOps, row.HotOpsPerSec = res.OwnerOps, ops
+					row.RareOps, row.FailedSteals = res.StealOps, res.FailedSteals
+					row.Seconds = res.Elapsed.Seconds()
+				}
+			case "stm":
+				res := tlrw.Bench(tlrw.Variant(s.v), tlrw.BenchOptions{
+					Readers: threads, Duration: *dur,
+				})
+				ops := float64(res.ReaderOps) / res.Elapsed.Seconds()
+				if ops > row.HotOpsPerSec {
+					row.HotOps, row.HotOpsPerSec = res.ReaderOps, ops
+					row.RareOps, row.TornReads = res.WriterOps, res.Torn
+					row.Seconds = res.Elapsed.Seconds()
+				}
+			}
+		}
+		best[fmt.Sprintf("%s/%s/%d", workload, s.name, threads)] = row.HotOpsPerSec
+		return row, nil
+	}
+
+	for _, workload := range []string{"deque", "stm"} {
+		unit := "owner take/push ops/sec"
+		label := "deque (Cilk-THE work stealing)"
+		tcol := "stealers"
+		if workload == "stm" {
+			unit = "read transactions/sec"
+			label = "stm (TLRW read-lock)"
+			tcol = "readers"
+		}
+		fmt.Printf("\n%s — %s:\n", label, unit)
+		fmt.Printf("  %-9s", tcol)
+		for _, s := range serieses {
+			fmt.Printf("  %15s", s.name)
+		}
+		fmt.Printf("  %9s\n", "speedup")
+		for _, n := range counts {
+			fmt.Printf("  %-9d", n)
+			for _, s := range serieses {
+				row, err := measure(workload, s, n)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "\nasymsim hwbench:", err)
+					return 1
+				}
+				file.Rows = append(file.Rows, row)
+				fmt.Printf("  %15.0f", row.HotOpsPerSec)
+			}
+			sp := best[fmt.Sprintf("%s/asymmetric/%d", workload, n)] /
+				best[fmt.Sprintf("%s/symmetric/%d", workload, n)]
+			file.Speedups = append(file.Speedups, hwSpeedup{Workload: workload, Threads: n, Measured: sp})
+			fmt.Printf("  %8.2fx\n", sp)
+		}
+	}
+
+	var dq, st []float64
+	for _, s := range file.Speedups {
+		if s.Workload == "deque" {
+			dq = append(dq, s.Measured)
+		} else {
+			st = append(st, s.Measured)
+		}
+	}
+	file.MeanDeque, file.MeanSTM = geomean(dq), geomean(st)
+
+	if *sim {
+		fmt.Fprintf(os.Stderr, "asymsim hwbench: regenerating simulator predictions (scale %.2g, horizon %d)...\n",
+			*simScale, *simHorizon)
+		s, err := simPredictions(ctx, *simScale, *simHorizon)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asymsim hwbench:", err)
+			return 1
+		}
+		file.Sim = s
+		fmt.Printf("\ncross-validation vs simulator (%d simulated cores; the ports are the WS+ assignment):\n", s.Cores)
+		fmt.Printf("  %-8s  %-22s  %s\n", "workload", "sim predicted (WS+/S+)", "measured (asym/sym)")
+		fmt.Printf("  %-8s  %-22s  %.2fx\n", "deque", fmt.Sprintf("%.2fx (Fig. 8)", s.DequeWSPlus), file.MeanDeque)
+		fmt.Printf("  %-8s  %-22s  %.2fx\n", "stm", fmt.Sprintf("%.2fx (Fig. 9)", s.STMWSPlus), file.MeanSTM)
+	}
+
+	stats := asymruntime.ReadStats()
+	file.Runtime = hwRuntime{
+		Mode:                active.String(),
+		Supported:           stats.Supported,
+		Registered:          stats.Registered,
+		HeavyMembarrier:     stats.HeavyMembarrier,
+		HeavyFallback:       stats.HeavyFallback,
+		FallbackActivations: stats.FallbackActivations,
+	}
+	fmt.Printf("\nruntime: mode=%s heavy_membarrier=%d heavy_fallback=%d fallback_activations=%d\n",
+		file.Runtime.Mode, file.Runtime.HeavyMembarrier, file.Runtime.HeavyFallback, file.Runtime.FallbackActivations)
+
+	asymruntime.Export(reg)
+	if err := writeMetrics(reg, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "asymsim hwbench:", err)
+		return 1
+	}
+	if *out != "" {
+		b, err := json.MarshalIndent(&file, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asymsim hwbench:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "asymsim hwbench: wrote %s (%d rows)\n", *out, len(file.Rows))
+	}
+	return 0
+}
+
+// modeFromString maps the -mode flag to an asymruntime.Mode; ok is
+// false for unrecognized values so a typo fails loudly instead of
+// silently benchmarking in auto mode.
+func modeFromString(s string) (asymruntime.Mode, bool) {
+	switch s {
+	case "auto", "":
+		return asymruntime.ModeAuto, true
+	case "membarrier":
+		return asymruntime.ModeMembarrier, true
+	case "fallback":
+		return asymruntime.ModeFallback, true
+	default:
+		return asymruntime.ModeAuto, false
+	}
+}
+
+// simPredictions regenerates the simulator's Fig. 8 and Fig. 9 group
+// runs and extracts the WS+/W+ speedups over S+ that the hardware
+// measurements are cross-validated against.
+func simPredictions(ctx context.Context, scale float64, horizon int64) (*hwSim, error) {
+	eng := experiments.NewEngine(experiments.EngineOptions{})
+	g8, _, err := eng.Fig8(ctx, experiments.DefaultCores, experiments.Scale(scale))
+	if err != nil {
+		return nil, fmt.Errorf("fig8 predictions: %w", err)
+	}
+	g9, _, err := eng.Fig9(ctx, experiments.DefaultCores, horizon)
+	if err != nil {
+		return nil, fmt.Errorf("fig9 predictions: %w", err)
+	}
+	return &hwSim{
+		Cores:       experiments.DefaultCores,
+		Scale:       scale,
+		Horizon:     horizon,
+		DequeWSPlus: 1 / g8.MeanExecRatio(fence.WSPlus),
+		DequeWPlus:  1 / g8.MeanExecRatio(fence.WPlus),
+		STMWSPlus:   g9.MeanThroughputRatio(fence.WSPlus),
+		STMWPlus:    g9.MeanThroughputRatio(fence.WPlus),
+	}, nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	asymruntime "asymfence/runtime"
+)
+
+// TestHWBenchQuick drives the real-hardware bench end to end at tiny
+// windows (no simulator pass) and checks the snapshot's shape, so the
+// driver behind BENCH_PR9_HW.json cannot rot.
+func TestHWBenchQuick(t *testing.T) {
+	t.Cleanup(func() { _ = asymruntime.Use(asymruntime.ModeAuto) })
+	out := filepath.Join(t.TempDir(), "hw.json")
+	code := hwbenchCmd(context.Background(), []string{
+		"-quick", "-sim=false", "-dur", "5ms", "-out", out,
+	})
+	if code != 0 {
+		t.Fatalf("hwbenchCmd exited %d", code)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("reading snapshot: %v", err)
+	}
+	var f hwFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if f.Schema != "asymfence-bench-hw/v1" {
+		t.Fatalf("schema = %q", f.Schema)
+	}
+	if len(f.Rows) == 0 || len(f.Speedups) == 0 {
+		t.Fatalf("snapshot has %d rows, %d speedups; want both > 0", len(f.Rows), len(f.Speedups))
+	}
+	seen := map[string]bool{}
+	for _, r := range f.Rows {
+		seen[r.Workload+"/"+r.Variant] = true
+		if r.HotOps <= 0 || r.HotOpsPerSec <= 0 {
+			t.Errorf("row %s/%s/%d made no progress: %+v", r.Workload, r.Variant, r.Threads, r)
+		}
+		if r.TornReads != 0 {
+			t.Errorf("row %s/%s/%d observed torn reads", r.Workload, r.Variant, r.Threads)
+		}
+	}
+	for _, want := range []string{"deque/symmetric", "deque/asymmetric", "stm/symmetric", "stm/asymmetric"} {
+		if !seen[want] {
+			t.Errorf("snapshot missing series %s", want)
+		}
+	}
+	if f.MeanDeque <= 0 || f.MeanSTM <= 0 {
+		t.Errorf("non-positive mean speedups: deque %v stm %v", f.MeanDeque, f.MeanSTM)
+	}
+	if f.Host.Go == "" || f.Host.NCPU <= 0 {
+		t.Errorf("host provenance incomplete: %+v", f.Host)
+	}
+	if f.Runtime.Mode == "" {
+		t.Errorf("runtime accounting missing: %+v", f.Runtime)
+	}
+}
+
+// TestHWBenchFallbackMode forces the portable path: the driver must
+// produce a full snapshot with zero membarrier usage.
+func TestHWBenchFallbackMode(t *testing.T) {
+	t.Cleanup(func() { _ = asymruntime.Use(asymruntime.ModeAuto) })
+	out := filepath.Join(t.TempDir(), "hw.json")
+	if code := hwbenchCmd(context.Background(), []string{
+		"-quick", "-sim=false", "-dur", "5ms", "-mode", "fallback", "-out", out,
+	}); code != 0 {
+		t.Fatalf("hwbenchCmd exited %d", code)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("reading snapshot: %v", err)
+	}
+	var f hwFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if f.Runtime.Mode != "fallback" {
+		t.Fatalf("runtime mode = %q, want fallback", f.Runtime.Mode)
+	}
+	for _, r := range f.Rows {
+		if r.Mode != "fallback" {
+			t.Fatalf("row %s/%s ran in mode %q under -mode fallback", r.Workload, r.Variant, r.Mode)
+		}
+	}
+}

@@ -13,6 +13,7 @@
 //	asymsim serve [flags]                  asymsimd: /v1 job-service daemon
 //	asymsim submit [flags] <group>:<app>   submit jobs to asymsimd and wait
 //	asymsim fuzz [flags]                   litmus-fuzz under invariant checkers
+//	asymsim hwbench [flags]                asymmetric fences on real silicon
 //
 // where <experiment> is one of fig8, fig9, fig10, fig11, fig12, table4,
 // headline, or all. Each prints the same rows/series the paper reports
@@ -45,6 +46,14 @@
 // fixed quick scale and writes cycles/throughput per (workload, design)
 // to BENCH_<date>.json, giving later changes a perf trajectory to
 // compare against.
+//
+// The hwbench subcommand leaves the simulator entirely: it runs the
+// real-goroutine ports of the Cilk-THE deque and the TLRW STM read-lock
+// (asymfence/runtime, membarrier-backed asymmetric fences vs their
+// symmetric baselines) across thread counts on this machine, records
+// hardware/kernel provenance, and prints measured speedups side by side
+// with the simulator's Fig. 8/9 predictions (checked in as
+// BENCH_PR9_HW.json; see HARDWARE.md).
 //
 // Every subcommand accepts -metrics out.json: the run's machine and
 // harness counters are collected into a metrics registry and written as
@@ -97,6 +106,8 @@ func main() {
 			os.Exit(benchCmd(ctx, os.Args[2:]))
 		case "benchkernel":
 			os.Exit(benchKernelCmd(ctx, os.Args[2:]))
+		case "hwbench":
+			os.Exit(hwbenchCmd(ctx, os.Args[2:]))
 		case "fuzz":
 			os.Exit(fuzzCmd(ctx, os.Args[2:]))
 		case "serve":
@@ -122,7 +133,8 @@ func main() {
 			"       asymsim [flags] run <group>:<app>     (e.g. run cilk:fib, run ustm:List)\n"+
 			"       asymsim trace <group>:<app> [flags]   (asymsim trace -h for flags)\n"+
 			"       asymsim bench [flags]                 (asymsim bench -h for flags)\n"+
-			"       asymsim fuzz [flags]                  (asymsim fuzz -h for flags)\n\n"+
+			"       asymsim fuzz [flags]                  (asymsim fuzz -h for flags)\n"+
+			"       asymsim hwbench [flags]               (asymsim hwbench -h for flags)\n\n"+
 			"experiments: %v\n\nflags:\n",
 			asymfence.ExperimentIDs)
 		flag.PrintDefaults()

@@ -1,0 +1,84 @@
+//go:build linux
+
+package asymruntime
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// membarrier(2) command bits (include/uapi/linux/membarrier.h). The
+// private expedited pair has been stable since Linux 4.14.
+const (
+	membarrierCmdQuery                    = 0
+	membarrierCmdPrivateExpedited         = 1 << 3
+	membarrierCmdRegisterPrivateExpedited = 1 << 4
+)
+
+// membarrierNR returns __NR_membarrier for the build architecture. The
+// syscall package predates membarrier, so the numbers are spelled out
+// here; architectures not listed degrade to the fallback fence.
+func membarrierNR() (uintptr, bool) {
+	switch runtime.GOARCH {
+	case "amd64":
+		return 324, true
+	case "386":
+		return 375, true
+	case "arm":
+		return 389, true
+	case "arm64", "riscv64", "loong64":
+		return 283, true
+	case "ppc64", "ppc64le":
+		return 365, true
+	case "s390x":
+		return 356, true
+	case "mips64", "mips64le":
+		return 5318, true
+	case "mips", "mipsle":
+		return 4358, true
+	default:
+		return 0, false
+	}
+}
+
+// membarrierCall issues membarrier(cmd, 0) and returns the raw result.
+func membarrierCall(cmd uintptr) (int, error) {
+	nr, ok := membarrierNR()
+	if !ok {
+		return 0, ErrUnsupported
+	}
+	r1, _, errno := syscall.Syscall(nr, cmd, 0, 0)
+	if errno != 0 {
+		// ENOSYS: kernel < 3.17 or CONFIG_MEMBARRIER=n. EPERM/ENOSYS
+		// are also what seccomp profiles typically return.
+		return 0, errno
+	}
+	return int(r1), nil
+}
+
+// membarrierProbe reports whether both private expedited commands are
+// supported. Query is side-effect free.
+func membarrierProbe() bool {
+	mask, err := membarrierCall(membarrierCmdQuery)
+	if err != nil {
+		return false
+	}
+	const need = membarrierCmdPrivateExpedited | membarrierCmdRegisterPrivateExpedited
+	return mask&need == need
+}
+
+// membarrierRegister issues MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED.
+// Registration is per-process (per-mm) and idempotent.
+func membarrierRegister() error {
+	_, err := membarrierCall(membarrierCmdRegisterPrivateExpedited)
+	return err
+}
+
+// membarrierFence issues MEMBARRIER_CMD_PRIVATE_EXPEDITED: every thread
+// of this process observes a full memory barrier before the call
+// returns (threads not currently running are already quiescent at a
+// kernel barrier).
+func membarrierFence() error {
+	_, err := membarrierCall(membarrierCmdPrivateExpedited)
+	return err
+}

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package asymruntime
+
+// membarrier(2) is Linux-only; every other platform resolves to the
+// seq-cst fallback path, keeping `go build ./...` green on darwin and
+// the BSDs. The fence pair stays correct — just symmetric.
+
+// membarrierProbe reports that the syscall is unavailable here.
+func membarrierProbe() bool { return false }
+
+// membarrierRegister always fails off-Linux.
+func membarrierRegister() error { return ErrUnsupported }
+
+// membarrierFence always fails off-Linux.
+func membarrierFence() error { return ErrUnsupported }

@@ -1,0 +1,114 @@
+package tlrw
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BenchOptions shapes one microbenchmark run; see Bench.
+type BenchOptions struct {
+	// Readers is the number of reader goroutines (1..MaxReaders).
+	Readers int
+	// Words is the size of the shared array each read transaction
+	// scans. Default 8.
+	Words int
+	// WriterPeriod is the pause between write transactions — writer
+	// drains (and heavy fences) are rare by construction, like commits
+	// against a read-mostly STM. Default 200µs.
+	WriterPeriod time.Duration
+	// Duration is the measured wall-clock window. Default 100ms.
+	Duration time.Duration
+}
+
+// BenchResult aggregates one Bench run.
+type BenchResult struct {
+	// ReaderOps counts completed read transactions across all readers.
+	ReaderOps int64
+	// WriterOps counts completed write transactions (= heavy fences in
+	// the asymmetric variant).
+	WriterOps int64
+	// Torn counts read transactions that observed a broken invariant —
+	// always 0 unless the lock protocol is broken.
+	Torn int64
+	// Elapsed is the measured wall-clock window.
+	Elapsed time.Duration
+}
+
+// Bench runs o.Readers goroutines executing read transactions (acquire
+// the read lock, scan the shared array, verify the sum invariant)
+// against one writer that periodically transfers value between cells
+// under the write lock. Reader throughput is the measured hot path.
+func Bench(v Variant, o BenchOptions) BenchResult {
+	if o.Readers <= 0 {
+		o.Readers = 1
+	}
+	if o.Readers > MaxReaders {
+		o.Readers = MaxReaders
+	}
+	if o.Words <= 0 {
+		o.Words = 8
+	}
+	if o.WriterPeriod <= 0 {
+		o.WriterPeriod = 200 * time.Microsecond
+	}
+	if o.Duration <= 0 {
+		o.Duration = 100 * time.Millisecond
+	}
+
+	l := New(v)
+	data := make([]int64, o.Words) // plain words; the lock is the only guard
+	var stop atomic.Bool
+	var res BenchResult
+	var wg sync.WaitGroup
+
+	for r := 0; r < o.Readers; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var ops, torn int64
+			for !stop.Load() {
+				l.RLock(id)
+				var sum int64
+				for i := range data {
+					sum += data[i]
+				}
+				l.RUnlock(id)
+				if sum != 0 {
+					torn++
+				}
+				ops++
+			}
+			atomic.AddInt64(&res.ReaderOps, ops)
+			atomic.AddInt64(&res.Torn, torn)
+		}(r)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var ops int64
+		x := uint64(1)
+		for !stop.Load() {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			i := int(x % uint64(len(data)))
+			j := int((x >> 32) % uint64(len(data)))
+			l.Lock()
+			data[i] += 7
+			data[j] -= 7
+			l.Unlock()
+			ops++
+			time.Sleep(o.WriterPeriod)
+		}
+		atomic.AddInt64(&res.WriterOps, ops)
+	}()
+
+	start := time.Now()
+	time.Sleep(o.Duration)
+	stop.Store(true)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res
+}

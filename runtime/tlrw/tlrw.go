@@ -1,0 +1,129 @@
+// Package tlrw ports the paper's second flagship workload onto real
+// goroutines: the TLRW-style STM read-write lock (Dice & Shavit's
+// byte-lock pattern; paper §4.2), built on the asymfence/runtime fence
+// pair.
+//
+// Readers announce themselves in a per-reader slot, fence, then check
+// for an active writer — the read-lock acquisition every transactional
+// read-only section executes. The writer announces itself, fences,
+// then drains: it waits until every reader slot is empty before
+// touching the data. Reader entry is the performance-critical side, so
+// the Asymmetric variant places a LightFence on reader entry and a
+// HeavyFence in the writer's drain (the paper's WS+ assignment); the
+// Symmetric baseline executes a full seq-cst fence on both sides, as
+// S+ hardware would.
+//
+// The slot flags and the writer flag are seq-cst atomics, so the
+// writer-drain handshake itself establishes happens-before and the
+// protected data can be accessed with plain loads and stores — which
+// is exactly what the -race stress tests exploit: any protocol bug
+// shows up as a data race or a torn invariant.
+package tlrw
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	asymruntime "asymfence/runtime"
+)
+
+// Variant selects the fence assignment of a Lock.
+type Variant uint8
+
+const (
+	// Symmetric fences reader entry and writer drain with full seq-cst
+	// fences — the S+ baseline.
+	Symmetric Variant = iota
+	// Asymmetric fences reader entry with LightFence and the writer's
+	// drain with HeavyFence — the real-silicon WS+ assignment.
+	Asymmetric
+)
+
+// String returns the variant's bench-row spelling.
+func (v Variant) String() string {
+	if v == Asymmetric {
+		return "asymmetric"
+	}
+	return "symmetric"
+}
+
+// MaxReaders is the number of reader slots a Lock carries.
+const MaxReaders = 64
+
+// slot is one reader's cache-line-isolated presence flag plus the
+// role-private cell its symmetric-baseline entry fence drains into.
+type slot struct {
+	_      [64]byte
+	active atomic.Int32
+	cell   asymruntime.Cell
+}
+
+// Lock is a TLRW-style reader-writer lock: per-reader presence slots, a
+// writer flag, and a mutex serializing writers. Readers are identified
+// by a slot id in [0, MaxReaders).
+type Lock struct {
+	variant Variant
+	slots   [MaxReaders]slot
+	writer  atomic.Int32
+	wmu     sync.Mutex
+	wcell   asymruntime.Cell
+}
+
+// New returns an unlocked TLRW lock with the given fence variant.
+func New(v Variant) *Lock {
+	return &Lock{variant: v}
+}
+
+// RLock acquires the read lock for reader id. The fast path — no
+// writer active — is one slot store, the entry fence, and one load.
+// When a writer is active (or arrives concurrently) the reader retracts
+// its announcement and waits, so the writer's drain always terminates.
+func (l *Lock) RLock(id int) {
+	s := &l.slots[id]
+	for {
+		s.active.Store(1)
+		if l.variant == Asymmetric {
+			asymruntime.LightFence()
+		} else {
+			s.cell.FullFence()
+		}
+		if l.writer.Load() == 0 {
+			return
+		}
+		// Writer in progress: step aside so its drain can finish.
+		s.active.Store(0)
+		for l.writer.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// RUnlock releases reader id's read lock.
+func (l *Lock) RUnlock(id int) {
+	l.slots[id].active.Store(0)
+}
+
+// Lock acquires the write lock: announce, fence, then drain every
+// reader slot. The drain's fence is the heavy side of the pair — it is
+// what makes the readers' LightFence sufficient.
+func (l *Lock) Lock() {
+	l.wmu.Lock()
+	l.writer.Store(1)
+	if l.variant == Asymmetric {
+		asymruntime.HeavyFence()
+	} else {
+		l.wcell.FullFence()
+	}
+	for i := range l.slots {
+		for l.slots[i].active.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases the write lock.
+func (l *Lock) Unlock() {
+	l.writer.Store(0)
+	l.wmu.Unlock()
+}

@@ -1,0 +1,169 @@
+package tlrw
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	asymruntime "asymfence/runtime"
+)
+
+var variants = []Variant{Symmetric, Asymmetric}
+
+// testableModes returns the fence paths testable on this machine:
+// fallback always, membarrier when the kernel supports it.
+func testableModes() []asymruntime.Mode {
+	ms := []asymruntime.Mode{asymruntime.ModeFallback}
+	if asymruntime.Supported() {
+		ms = append(ms, asymruntime.ModeMembarrier)
+	}
+	return ms
+}
+
+func setMode(t *testing.T, m asymruntime.Mode) {
+	t.Helper()
+	if err := asymruntime.Use(m); err != nil {
+		t.Skipf("mode %v unavailable: %v", m, err)
+	}
+	t.Cleanup(func() { _ = asymruntime.Use(asymruntime.ModeAuto) })
+}
+
+func TestReadLockUncontended(t *testing.T) {
+	for _, v := range variants {
+		l := New(v)
+		l.RLock(0)
+		l.RLock(1) // readers coexist
+		l.RUnlock(0)
+		l.RUnlock(1)
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+// TestWriterDrainWaitsForReader pins the drain semantics: the writer
+// must not proceed while a reader is inside its section.
+func TestWriterDrainWaitsForReader(t *testing.T) {
+	for _, v := range variants {
+		l := New(v)
+		l.RLock(0)
+		acquired := make(chan struct{})
+		go func() {
+			l.Lock()
+			close(acquired)
+			l.Unlock()
+		}()
+		select {
+		case <-acquired:
+			t.Fatalf("%v: writer acquired the lock past an active reader", v)
+		case <-time.After(20 * time.Millisecond):
+		}
+		l.RUnlock(0)
+		select {
+		case <-acquired:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%v: writer never acquired the lock after RUnlock", v)
+		}
+	}
+}
+
+// TestStressNoTornReads is the port's core safety test: readers scan a
+// plain (non-atomic) shared array under the read lock and verify a sum
+// invariant the writer preserves under the write lock. Any protocol
+// bug surfaces as a torn sum — or, under -race, as a data race on the
+// plain words, since the lock handshake is the only happens-before
+// edge between readers and the writer.
+func TestStressNoTornReads(t *testing.T) {
+	readers := 4
+	if runtime.NumCPU() < 4 {
+		readers = 2
+	}
+	for _, m := range testableModes() {
+		for _, v := range variants {
+			t.Run(m.String()+"/"+v.String(), func(t *testing.T) {
+				setMode(t, m)
+				stressNoTornReads(t, v, readers, 150*time.Millisecond)
+			})
+		}
+	}
+}
+
+func stressNoTornReads(t *testing.T, v Variant, readers int, d time.Duration) {
+	l := New(v)
+	data := make([]int64, 16)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var readerOps, writerOps int64
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var ops int64
+			for !stop.Load() {
+				l.RLock(id)
+				var sum int64
+				for i := range data {
+					sum += data[i]
+				}
+				l.RUnlock(id)
+				if sum != 0 {
+					t.Errorf("torn read: invariant sum = %d, want 0", sum)
+					stop.Store(true)
+					return
+				}
+				ops++
+			}
+			atomic.AddInt64(&readerOps, ops)
+		}(r)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var ops int64
+		x := uint64(42)
+		for !stop.Load() {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			i := int(x % uint64(len(data)))
+			j := int((x >> 32) % uint64(len(data)))
+			l.Lock()
+			data[i] += 3
+			data[j] -= 3
+			l.Unlock()
+			ops++
+			time.Sleep(50 * time.Microsecond)
+		}
+		atomic.AddInt64(&writerOps, ops)
+	}()
+
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if readerOps == 0 || writerOps == 0 {
+		t.Fatalf("stress made no progress: readerOps=%d writerOps=%d", readerOps, writerOps)
+	}
+	if v == Asymmetric && asymruntime.Active() == asymruntime.ModeMembarrier {
+		if asymruntime.ReadStats().HeavyMembarrier == 0 {
+			t.Fatalf("asymmetric stress run issued no membarrier heavy fences")
+		}
+	}
+}
+
+func TestBenchSmoke(t *testing.T) {
+	for _, v := range variants {
+		r := Bench(v, BenchOptions{Readers: 2, Duration: 10 * time.Millisecond, WriterPeriod: 100 * time.Microsecond})
+		if r.ReaderOps == 0 {
+			t.Fatalf("%v: bench completed no reader ops", v)
+		}
+		if r.Torn != 0 {
+			t.Fatalf("%v: bench observed %d torn reads", v, r.Torn)
+		}
+	}
+}
