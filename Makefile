@@ -4,10 +4,10 @@
 GO ?= go
 
 .PHONY: check fmt vet doccheck build test race race-runner check-store \
-	check-service check-runtime smoke bench bench-snapshot bench-baseline \
-	bench-metrics bench-hw check-invariants fuzz-smoke
+	check-service check-runtime check-conform smoke bench bench-snapshot \
+	bench-baseline bench-metrics bench-hw check-invariants fuzz-smoke
 
-check: fmt vet doccheck build test race-runner check-store check-service check-invariants check-runtime fuzz-smoke smoke
+check: fmt vet doccheck build test race-runner check-store check-service check-invariants check-runtime check-conform fuzz-smoke smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -79,12 +79,28 @@ check-runtime:
 	ASYMFENCE_MODE=fallback $(GO) test -race -count=1 ./runtime/...
 	$(GO) test -race -count=1 -run 'TestHWBench' ./cmd/asymsim/
 
+# Cross-domain litmus conformance (ROBUSTNESS.md §8): the TSO
+# reference enumerator, the real-goroutine litmus runner and the
+# conformance campaign suites under the race detector, the fence
+# runtime's fault-injection/degradation suite, the mid-run
+# mode-degradation torture tests for the deque and the TLRW read-lock,
+# and the quick CLI campaign (50 seeds x 5 designs x both fence modes)
+# with its byte-reproducible report.
+check-conform:
+	$(GO) test -race -count=1 ./internal/tso/ ./runtime/litmusrun/
+	$(GO) test -race -count=1 -run 'TestFault|TestHeavyFence|TestConcurrentDegradation|TestStatsSnapshot' ./runtime/
+	$(GO) test -race -count=1 -run 'TestTorture' ./runtime/thedeque/ ./runtime/tlrw/
+	$(GO) test -race -count=1 -run 'TestConform|TestMinimize' . ./cmd/asymsim/
+	$(GO) run ./cmd/asymsim conform -quick -q
+
 # Quick end-to-end sanity: the headline experiment at reduced scale on
-# a parallel worker pool, plus the real-hardware bench driver with the
-# simulator cross-validation table at smoke scale.
+# a parallel worker pool, the real-hardware bench driver with the
+# simulator cross-validation table at smoke scale, plus the quick
+# cross-domain conformance sweep.
 smoke:
 	$(GO) run ./cmd/asymsim -scale 0.1 -horizon 20000 -j 4 headline
 	$(GO) run ./cmd/asymsim hwbench -quick
+	$(GO) run ./cmd/asymsim conform -quick -q
 
 # Checked-in real-hardware baseline (BENCH_PR9_HW.json): the goroutine
 # ports of the Cilk-THE deque and the TLRW STM read-lock, asymmetric

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	asymruntime "asymfence/runtime"
+)
+
+// conformTestArgs is a tiny clean campaign: enough to cover both
+// generator shapes, cheap enough to run twice for the diff check.
+func conformTestArgs(report string) []string {
+	return []string{
+		"-seeds", "5", "-schedules", "1", "-iters", "8", "-q",
+		"-report", report,
+	}
+}
+
+// TestConformCmdCleanAndReproducible drives the CLI end to end twice
+// with a fixed configuration and requires byte-identical
+// asymfence-conform/v1 reports — the acceptance criterion behind
+// `asymsim conform -report`.
+func TestConformCmdCleanAndReproducible(t *testing.T) {
+	t.Cleanup(func() { _ = asymruntime.Use(asymruntime.ModeAuto) })
+	dir := t.TempDir()
+	run := func(name string) []byte {
+		out := filepath.Join(dir, name)
+		if code := conformCmd(context.Background(), conformTestArgs(out)); code != 0 {
+			t.Fatalf("conformCmd exited %d", code)
+		}
+		b, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatalf("reading report: %v", err)
+		}
+		return b
+	}
+	a, b := run("a.json"), run("b.json")
+	if string(a) != string(b) {
+		t.Fatalf("report not byte-reproducible:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+
+	var f conformFile
+	if err := json.Unmarshal(a, &f); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if f.Schema != "asymfence-conform/v1" {
+		t.Fatalf("schema = %q", f.Schema)
+	}
+	if f.Report == nil || f.Report.Violation != nil {
+		t.Fatalf("clean campaign report wrong: %+v", f.Report)
+	}
+	if f.Report.Seeds != 5 || f.Report.SimRuns == 0 || f.Report.HWIterations == 0 {
+		t.Fatalf("campaign shape wrong: %+v", f.Report)
+	}
+	if len(f.Config.Designs) == 0 || len(f.Config.Modes) == 0 {
+		t.Fatalf("config provenance incomplete: %+v", f.Config)
+	}
+	if f.Host.Go == "" || f.Host.NCPU <= 0 {
+		t.Fatalf("host provenance incomplete: %+v", f.Host)
+	}
+}
+
+func TestConformCmdUnknownMode(t *testing.T) {
+	if code := conformCmd(context.Background(), []string{"-modes", "nope"}); code != 2 {
+		t.Fatalf("unknown mode exited %d, want 2", code)
+	}
+}

@@ -13,6 +13,7 @@
 //	asymsim serve [flags]                  asymsimd: /v1 job-service daemon
 //	asymsim submit [flags] <group>:<app>   submit jobs to asymsimd and wait
 //	asymsim fuzz [flags]                   litmus-fuzz under invariant checkers
+//	asymsim conform [flags]                cross-domain litmus conformance sweep
 //	asymsim hwbench [flags]                asymmetric fences on real silicon
 //
 // where <experiment> is one of fig8, fig9, fig10, fig11, fig12, table4,
@@ -54,6 +55,15 @@
 // hardware/kernel provenance, and prints measured speedups side by side
 // with the simulator's Fig. 8/9 predictions (checked in as
 // BENCH_PR9_HW.json; see HARDWARE.md).
+//
+// The conform subcommand cross-checks all three execution domains on
+// generated litmus programs: the reference TSO machine enumerates each
+// program's allowed final states, then the cycle simulator (every
+// design, fault-injected schedules) and real goroutines
+// (asymfence/runtime fences, every available mode) must stay inside
+// their closures. Violations are minimized and the campaign exits 1.
+// -report writes a byte-reproducible asymfence-conform/v1 JSON file;
+// -quick is the CI shape (see ROBUSTNESS.md §8).
 //
 // Every subcommand accepts -metrics out.json: the run's machine and
 // harness counters are collected into a metrics registry and written as
@@ -110,6 +120,8 @@ func main() {
 			os.Exit(hwbenchCmd(ctx, os.Args[2:]))
 		case "fuzz":
 			os.Exit(fuzzCmd(ctx, os.Args[2:]))
+		case "conform":
+			os.Exit(conformCmd(ctx, os.Args[2:]))
 		case "serve":
 			os.Exit(serveCmd(ctx, os.Args[2:]))
 		case "submit":
@@ -134,6 +146,7 @@ func main() {
 			"       asymsim trace <group>:<app> [flags]   (asymsim trace -h for flags)\n"+
 			"       asymsim bench [flags]                 (asymsim bench -h for flags)\n"+
 			"       asymsim fuzz [flags]                  (asymsim fuzz -h for flags)\n"+
+			"       asymsim conform [flags]               (asymsim conform -h for flags)\n"+
 			"       asymsim hwbench [flags]               (asymsim hwbench -h for flags)\n\n"+
 			"experiments: %v\n\nflags:\n",
 			asymfence.ExperimentIDs)

@@ -1,0 +1,140 @@
+package asymfence
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"asymfence/internal/cpu"
+	asymruntime "asymfence/runtime"
+)
+
+// quickConform is a small clean-campaign configuration shared by the
+// tests: enough seeds to cover both generator shapes, cheap enough to
+// run twice for the reproducibility check.
+func quickConform() ConformOptions {
+	return ConformOptions{
+		Seeds:      6,
+		Schedules:  2,
+		Iterations: 24,
+	}
+}
+
+func TestConformCleanCampaign(t *testing.T) {
+	rep, err := RunConform(context.Background(), quickConform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation != nil {
+		t.Fatalf("conformance violation on a clean build: %v", rep.Violation.Error())
+	}
+	if rep.Seeds != 6 {
+		t.Fatalf("Seeds = %d, want 6", rep.Seeds)
+	}
+	if rep.SimRuns == 0 || rep.HWIterations == 0 {
+		t.Fatalf("campaign ran nothing: %+v", rep)
+	}
+	if len(rep.ModesRun) == 0 {
+		t.Fatal("no hardware modes ran")
+	}
+	for _, sr := range rep.PerSeed {
+		if sr.Skipped {
+			continue
+		}
+		if sr.Strong == 0 || sr.Relaxed < sr.Strong {
+			t.Fatalf("seed %d: closure sizes wrong: strong=%d relaxed=%d", sr.Seed, sr.Strong, sr.Relaxed)
+		}
+		for d, n := range sr.SimOutcomes {
+			if n == 0 {
+				t.Fatalf("seed %d design %s observed no sim outcomes", sr.Seed, d)
+			}
+		}
+	}
+	if asymruntime.Supported() {
+		found := false
+		for _, m := range rep.ModesRun {
+			if m == "membarrier" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("membarrier supported but not exercised")
+		}
+	}
+}
+
+// TestConformReportReproducible: the JSON-serialized report of a fixed
+// configuration must be byte-identical across runs — the deterministic
+// sections carry no hardware-coverage data.
+func TestConformReportReproducible(t *testing.T) {
+	run := func() []byte {
+		rep, err := RunConform(context.Background(), quickConform())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("report not byte-reproducible:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}
+
+// TestConformCatchesBrokenFence: with the simulator's strong fence
+// deliberately broken, the sweep must either trip the invariant oracle
+// or observe an outcome outside the relaxed closure — and report a
+// minimized violation rather than passing.
+func TestConformCatchesBrokenFence(t *testing.T) {
+	cpu.DebugBrokenFence = true
+	defer func() { cpu.DebugBrokenFence = false }()
+	opts := ConformOptions{
+		Seeds:      30,
+		Schedules:  2,
+		Iterations: 1, // hardware is not under test here
+	}
+	rep, err := RunConform(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil {
+		t.Fatal("broken sfence survived the conformance sweep")
+	}
+	if !strings.HasPrefix(rep.Violation.Domain, "sim") {
+		t.Fatalf("violation domain = %q, want a sim domain", rep.Violation.Domain)
+	}
+	if len(rep.Violation.Programs) == 0 {
+		t.Fatal("violation carries no minimized programs")
+	}
+	if rep.Violation.Error() == "" {
+		t.Fatal("violation has no message")
+	}
+}
+
+func TestConformMetricsScope(t *testing.T) {
+	reg := NewMetricsRegistry()
+	opts := ConformOptions{Seeds: 2, Schedules: 1, Iterations: 8}
+	opts.Metrics = reg
+	if _, err := RunConform(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	sc := reg.Scope("conform")
+	if sc.Counter("seeds").Value() != 2 {
+		t.Fatalf("conform.seeds = %d, want 2", sc.Counter("seeds").Value())
+	}
+	if sc.Counter("sim.runs").Value() == 0 || sc.Counter("hw.iterations").Value() == 0 {
+		t.Fatal("conform counters not exported")
+	}
+}
+
+func TestConformCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunConform(ctx, quickConform()); err == nil {
+		t.Fatal("cancelled conform run returned nil error")
+	}
+}

@@ -167,33 +167,10 @@ func fuzzRun(ctx context.Context, seed uint64, d fence.Design, g litmus.GenResul
 func minimizeViolation(ctx context.Context, seed uint64, d fence.Design,
 	g litmus.GenResult, opts FuzzOptions, v *check.ViolationError) *check.ViolationError {
 
-	progs := make([]*isa.Program, len(g.Programs))
-	for i, p := range g.Programs {
-		cp := *p
-		cp.Instrs = append([]isa.Instr(nil), p.Instrs...)
-		progs[i] = &cp
-	}
-	for changed := true; changed; {
-		changed = false
-		for t := range progs {
-			for i, in := range progs[t].Instrs {
-				if in.Op == isa.Nop || in.Op == isa.Halt {
-					continue
-				}
-				saved := in
-				progs[t].Instrs[i] = isa.Instr{Op: isa.Nop}
-				mv, err := fuzzRun(ctx, seed, d, g, progs, opts)
-				if err != nil || mv == nil {
-					progs[t].Instrs[i] = saved
-					continue
-				}
-				changed = true
-			}
-		}
-		if ctx.Err() != nil {
-			break
-		}
-	}
+	progs := minimizeProgs(ctx, g.Programs, func(ctx context.Context, cand []*isa.Program) bool {
+		mv, err := fuzzRun(ctx, seed, d, g, cand, opts)
+		return err == nil && mv != nil
+	})
 	mv, err := fuzzRun(ctx, seed, d, g, progs, opts)
 	if err != nil || mv == nil {
 		// The pristine instance is the authoritative reproducer if the

@@ -1,0 +1,417 @@
+// Package tso is a reference TSO abstract machine over the simulated
+// ISA, with a bounded-exhaustive enumerator of reachable final states.
+//
+// The machine is the textbook x86-TSO operational model: each thread
+// owns a FIFO store buffer; stores enter the buffer and drain to shared
+// memory at nondeterministic later points; loads forward from the
+// newest matching buffered store, else read memory; fences and atomic
+// exchanges require an empty buffer. Enumerate explores every
+// interleaving of thread steps and buffer flushes (with thread-local
+// instructions collapsed — they commute with everything), memoizing
+// visited states, and returns the exact set of reachable final
+// outcomes for programs whose state space fits the configured cap.
+//
+// The conformance harness (ROBUSTNESS.md §8) uses this set as the
+// ground truth both directions: every cycle-simulator final state must
+// be inside the relaxed closure, and every real-hardware final state —
+// Go's sync/atomic operations are sequentially consistent, and SC is a
+// refinement of TSO — must be inside the strong closure.
+package tso
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"asymfence/internal/isa"
+	"asymfence/internal/mem"
+	"asymfence/internal/workloads/litmus"
+)
+
+// Semantics selects how the machine interprets the weak fence.
+type Semantics uint8
+
+const (
+	// Strong drains the store buffer at both sfence and wfence — the
+	// strongest reading of the program, matching hardware where the
+	// weak fence is implemented as a real fence (or, on real silicon,
+	// where every access is already sequentially consistent).
+	Strong Semantics = iota
+	// Relaxed treats wfence as a no-op and drains only at sfence — the
+	// weakest reading any of the paper's designs is allowed to exhibit
+	// (WS+/SW+/Wee silently skip unpaired weak-fence ordering; see the
+	// paper §3.3.1). Every Strong behavior is also a Relaxed behavior.
+	Relaxed
+)
+
+// String returns the semantics name used in reports.
+func (s Semantics) String() string {
+	if s == Relaxed {
+		return "relaxed"
+	}
+	return "strong"
+}
+
+// Regs is one thread's architectural register file. R0 reads as zero
+// and discards writes, exactly like the cycle simulator's cores.
+type Regs [isa.NumRegs]uint32
+
+// Get returns register x (0 for R0).
+func (r *Regs) Get(x isa.Reg) uint32 {
+	if x == isa.R0 {
+		return 0
+	}
+	return r[x]
+}
+
+// Set writes register x (writes to R0 are discarded).
+func (r *Regs) Set(x isa.Reg, v uint32) {
+	if x != isa.R0 {
+		r[x] = v
+	}
+}
+
+// Local executes one thread-local instruction (ALU, immediate moves,
+// branches, modeled work, stat markers) and returns the next pc.
+// handled is false for memory accesses, fences and halt — the ops whose
+// semantics differ per execution domain. Shared by the enumerator and
+// by runtime/litmusrun so both domains agree byte-for-byte on the
+// functional semantics of local code.
+func Local(in isa.Instr, pc int, r *Regs) (next int, handled bool) {
+	a := r.Get(in.Src1)
+	b := r.Get(in.Src2)
+	imm := uint32(in.Imm)
+	switch in.Op {
+	case isa.Nop, isa.Work, isa.Stat:
+		return pc + 1, true
+	case isa.Li:
+		r.Set(in.Dst, imm)
+	case isa.Mov:
+		r.Set(in.Dst, a)
+	case isa.Add:
+		r.Set(in.Dst, a+b)
+	case isa.Sub:
+		r.Set(in.Dst, a-b)
+	case isa.Mul:
+		r.Set(in.Dst, a*b)
+	case isa.And:
+		r.Set(in.Dst, a&b)
+	case isa.Or:
+		r.Set(in.Dst, a|b)
+	case isa.Xor:
+		r.Set(in.Dst, a^b)
+	case isa.AddI:
+		r.Set(in.Dst, a+imm)
+	case isa.AndI:
+		r.Set(in.Dst, a&imm)
+	case isa.ShlI:
+		r.Set(in.Dst, a<<(imm&31))
+	case isa.ShrI:
+		r.Set(in.Dst, a>>(imm&31))
+	case isa.Jmp:
+		return in.Target, true
+	case isa.Beq:
+		if a == b {
+			return in.Target, true
+		}
+	case isa.Bne:
+		if a != b {
+			return in.Target, true
+		}
+	case isa.Blt:
+		if int32(a) < int32(b) {
+			return in.Target, true
+		}
+	case isa.Bge:
+		if int32(a) >= int32(b) {
+			return in.Target, true
+		}
+	default:
+		return pc, false
+	}
+	return pc + 1, true
+}
+
+// sbEntry is one buffered store.
+type sbEntry struct {
+	addr mem.Addr
+	val  uint32
+}
+
+// thread is one thread's machine state. pc == len(prog.Instrs) or a
+// retired Halt marks the thread done (its buffer may still drain).
+type thread struct {
+	pc     int
+	halted bool
+	regs   Regs
+	buf    []sbEntry
+}
+
+// state is one interior node of the interleaving exploration.
+type state struct {
+	threads []thread
+	memory  map[mem.Addr]uint32
+}
+
+func (s *state) clone() *state {
+	n := &state{
+		threads: make([]thread, len(s.threads)),
+		memory:  make(map[mem.Addr]uint32, len(s.memory)),
+	}
+	for i, t := range s.threads {
+		n.threads[i] = t
+		n.threads[i].buf = append([]sbEntry(nil), t.buf...)
+	}
+	for a, v := range s.memory {
+		n.memory[a] = v
+	}
+	return n
+}
+
+// key serializes the state canonically for memoization.
+func (s *state) key() string {
+	buf := make([]byte, 0, 128)
+	put32 := func(v uint32) {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	for _, t := range s.threads {
+		put32(uint32(t.pc))
+		if t.halted {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		for _, v := range t.regs {
+			put32(v)
+		}
+		put32(uint32(len(t.buf)))
+		for _, e := range t.buf {
+			put32(uint32(e.addr))
+			put32(e.val)
+		}
+	}
+	addrs := make([]mem.Addr, 0, len(s.memory))
+	for a := range s.memory {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		put32(uint32(a))
+		put32(s.memory[a])
+	}
+	return string(buf)
+}
+
+// load reads addr for thread t: newest buffered store first (TSO store
+// forwarding), then memory (unwritten words read zero, matching the
+// simulator's functional store).
+func (s *state) load(t int, addr mem.Addr) uint32 {
+	th := &s.threads[t]
+	for i := len(th.buf) - 1; i >= 0; i-- {
+		if th.buf[i].addr == addr {
+			return th.buf[i].val
+		}
+	}
+	return s.memory[addr]
+}
+
+// maxLocalSteps bounds one local-execution burst; a thread-local
+// infinite loop (backward branches over non-memory code) would
+// otherwise hang the enumerator.
+const maxLocalSteps = 100_000
+
+// ErrRunaway reports a thread that executed maxLocalSteps consecutive
+// local instructions — only possible with backward branches, which the
+// litmus generator never emits.
+var ErrRunaway = errors.New("tso: runaway local execution (backward branch loop?)")
+
+// runLocal advances thread t through consecutive local instructions
+// (and, under Relaxed, weak fences) until it parks at a memory access,
+// fence, halt or program end.
+func runLocal(st *state, t int, prog *isa.Program, sem Semantics) error {
+	th := &st.threads[t]
+	for steps := 0; ; steps++ {
+		if steps > maxLocalSteps {
+			return ErrRunaway
+		}
+		if th.pc >= len(prog.Instrs) {
+			th.halted = true
+			return nil
+		}
+		in := prog.Instrs[th.pc]
+		if in.Op == isa.Halt {
+			th.halted = true
+			return nil
+		}
+		if in.Op == isa.WFence && sem == Relaxed {
+			th.pc++
+			continue
+		}
+		next, handled := Local(in, th.pc, &th.regs)
+		if !handled {
+			return nil
+		}
+		th.pc = next
+	}
+}
+
+// Result is the outcome of one enumeration.
+type Result struct {
+	// Outcomes is the set of reachable final states. Exact when
+	// Complete; a reachable subset otherwise.
+	Outcomes litmus.OutcomeSet
+	// Complete reports whether the state space was fully explored
+	// within the configured cap.
+	Complete bool
+	// States is the number of distinct interior states visited.
+	States int
+}
+
+// DefaultMaxStates bounds the exploration when Config.MaxStates is 0.
+const DefaultMaxStates = 400_000
+
+// Config parameterizes Enumerate.
+type Config struct {
+	// Semantics selects the weak-fence reading (default Strong).
+	Semantics Semantics
+	// MaxStates caps the distinct states visited; past it the
+	// enumeration stops and the result is marked incomplete (default
+	// DefaultMaxStates).
+	MaxStates int
+}
+
+// Enumerate explores every TSO-reachable final state of the program
+// group over the shared region (seeded with the litmus initial image)
+// and returns the set of final outcomes. An error reports a broken
+// program (runaway local loop), never an incomplete exploration — that
+// is reported via Result.Complete.
+func Enumerate(progs []*isa.Program, shared mem.Region, cfg Config) (Result, error) {
+	maxStates := cfg.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	res := Result{Outcomes: litmus.NewOutcomeSet(), Complete: true}
+
+	init := &state{
+		threads: make([]thread, len(progs)),
+		memory:  make(map[mem.Addr]uint32),
+	}
+	words := int(shared.Size / mem.WordSize)
+	for i := 0; i < words; i++ {
+		init.memory[shared.Base+mem.Addr(i)*mem.WordSize] = litmus.InitWord(i)
+	}
+	for t := range progs {
+		if err := runLocal(init, t, progs[t], cfg.Semantics); err != nil {
+			return res, fmt.Errorf("thread %d: %w", t, err)
+		}
+	}
+
+	visited := map[string]struct{}{init.key(): {}}
+	stack := []*state{init}
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		// Each thread is parked at a memory access, fence or halt.
+		// Successors: perform that operation (when enabled), or flush
+		// the oldest buffered store.
+		final := true
+		var succs []*state
+		for t := range st.threads {
+			th := &st.threads[t]
+			if len(th.buf) > 0 {
+				final = false
+				n := st.clone()
+				e := n.threads[t].buf[0]
+				n.threads[t].buf = n.threads[t].buf[1:]
+				n.memory[e.addr] = e.val
+				succs = append(succs, n)
+			}
+			if th.halted {
+				continue
+			}
+			final = false
+			in := progs[t].Instrs[th.pc]
+			switch in.Op {
+			case isa.St:
+				n := st.clone()
+				nt := &n.threads[t]
+				addr := mem.Addr(nt.regs.Get(in.Src1) + uint32(in.Imm))
+				nt.buf = append(nt.buf, sbEntry{addr: addr, val: nt.regs.Get(in.Src2)})
+				nt.pc++
+				succs = append(succs, n)
+			case isa.Ld:
+				n := st.clone()
+				nt := &n.threads[t]
+				addr := mem.Addr(nt.regs.Get(in.Src1) + uint32(in.Imm))
+				nt.regs.Set(in.Dst, n.load(t, addr))
+				nt.pc++
+				succs = append(succs, n)
+			case isa.Xchg:
+				// Atomic exchange: x86-style locked RMW, a full fence —
+				// enabled only on an empty buffer, reads and writes
+				// memory directly.
+				if len(th.buf) != 0 {
+					continue
+				}
+				n := st.clone()
+				nt := &n.threads[t]
+				addr := mem.Addr(nt.regs.Get(in.Src1) + uint32(in.Imm))
+				old := n.memory[addr]
+				n.memory[addr] = nt.regs.Get(in.Src2)
+				nt.regs.Set(in.Dst, old)
+				nt.pc++
+				succs = append(succs, n)
+			case isa.SFence, isa.WFence:
+				// Fences drain: enabled only on an empty buffer. (A
+				// relaxed-mode wfence never parks here — runLocal
+				// stepped over it.)
+				if len(th.buf) != 0 {
+					continue
+				}
+				n := st.clone()
+				n.threads[t].pc++
+				succs = append(succs, n)
+			default:
+				return res, fmt.Errorf("thread %d parked at unexpected op %v", t, in.Op)
+			}
+		}
+		if final {
+			res.Outcomes.Add(extract(st, shared))
+			continue
+		}
+		for _, n := range succs {
+			for t := range n.threads {
+				if !n.threads[t].halted {
+					if err := runLocal(n, t, progs[t], cfg.Semantics); err != nil {
+						return res, fmt.Errorf("thread %d: %w", t, err)
+					}
+				}
+			}
+			k := n.key()
+			if _, ok := visited[k]; ok {
+				continue
+			}
+			if len(visited) >= maxStates {
+				res.Complete = false
+				continue
+			}
+			visited[k] = struct{}{}
+			stack = append(stack, n)
+		}
+	}
+	res.States = len(visited)
+	return res, nil
+}
+
+// extract converts a final machine state into the canonical outcome.
+func extract(st *state, shared mem.Region) litmus.Outcome {
+	return litmus.ExtractOutcome(len(st.threads), shared,
+		func(t int, r isa.Reg) uint32 { return st.threads[t].regs.Get(r) },
+		func(a mem.Addr) uint32 { return st.memory[a] },
+		func(f func(a mem.Addr, v uint32)) {
+			for a, v := range st.memory {
+				f(a, v)
+			}
+		})
+}

@@ -1,0 +1,46 @@
+package asymfence
+
+import (
+	"context"
+
+	"asymfence/internal/isa"
+)
+
+// minimizeProgs shrinks a set of litmus programs by nop-substitution:
+// each non-nop, non-halt instruction is tentatively replaced with a nop
+// and the substitution is kept only if keep still reports the property
+// of interest (an oracle violation, a conformance mismatch, ...) on the
+// candidate. Branch targets stay valid because instruction indices never
+// move. The inputs are never mutated; the returned programs are copies.
+// Minimization always terminates: each accepted substitution strictly
+// reduces the number of non-nop instructions, and a full pass with no
+// accepted substitution ends the loop — a property that survives no
+// substitution at all simply comes back as a copy of the original.
+func minimizeProgs(ctx context.Context, progs []*isa.Program,
+	keep func(context.Context, []*isa.Program) bool) []*isa.Program {
+
+	out := make([]*isa.Program, len(progs))
+	for i, p := range progs {
+		cp := *p
+		cp.Instrs = append([]isa.Instr(nil), p.Instrs...)
+		out[i] = &cp
+	}
+	for changed := true; changed && ctx.Err() == nil; {
+		changed = false
+		for t := range out {
+			for i, in := range out[t].Instrs {
+				if in.Op == isa.Nop || in.Op == isa.Halt {
+					continue
+				}
+				saved := in
+				out[t].Instrs[i] = isa.Instr{Op: isa.Nop}
+				if !keep(ctx, out) {
+					out[t].Instrs[i] = saved
+					continue
+				}
+				changed = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package asymfence
+
+import (
+	"context"
+	"testing"
+
+	"asymfence/internal/isa"
+)
+
+func countNonNop(progs []*isa.Program) int {
+	n := 0
+	for _, p := range progs {
+		for _, in := range p.Instrs {
+			if in.Op != isa.Nop {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestMinimizeEmptyProgram(t *testing.T) {
+	progs := []*isa.Program{{Name: "empty"}}
+	out := minimizeProgs(context.Background(), progs, func(context.Context, []*isa.Program) bool {
+		return true
+	})
+	if len(out) != 1 || len(out[0].Instrs) != 0 {
+		t.Fatalf("empty program changed shape: %+v", out)
+	}
+}
+
+func TestMinimizeSingleCore(t *testing.T) {
+	b := isa.NewBuilder("single")
+	b.Li(1, 5)
+	b.Li(2, 6)
+	b.Add(3, 1, 2)
+	b.Halt()
+	progs := []*isa.Program{b.MustBuild()}
+	out := minimizeProgs(context.Background(), progs, func(_ context.Context, c []*isa.Program) bool {
+		return true // everything is droppable
+	})
+	for i, in := range out[0].Instrs {
+		want := isa.Nop
+		if i == len(out[0].Instrs)-1 {
+			want = isa.Halt
+		}
+		if in.Op != want {
+			t.Fatalf("instr %d: got %v, want %v", i, in.Op, want)
+		}
+	}
+	// The input must be untouched.
+	if progs[0].Instrs[0].Op != isa.Li {
+		t.Fatal("minimizer mutated its input")
+	}
+}
+
+// TestMinimizeSurvivesNoSubstitution: when no nop substitution keeps the
+// property, the minimizer must terminate and hand back the original
+// instructions unchanged.
+func TestMinimizeSurvivesNoSubstitution(t *testing.T) {
+	b := isa.NewBuilder("stubborn")
+	b.Li(1, 1)
+	b.St(1, 1, 0)
+	b.SFence()
+	b.Halt()
+	progs := []*isa.Program{b.MustBuild()}
+	calls := 0
+	out := minimizeProgs(context.Background(), progs, func(_ context.Context, c []*isa.Program) bool {
+		calls++
+		return false
+	})
+	if calls == 0 {
+		t.Fatal("keep never consulted")
+	}
+	if len(out) != len(progs) || len(out[0].Instrs) != len(progs[0].Instrs) {
+		t.Fatalf("shape changed: %+v", out)
+	}
+	for i := range progs[0].Instrs {
+		if out[0].Instrs[i] != progs[0].Instrs[i] {
+			t.Fatalf("instr %d changed: %v -> %v", i, progs[0].Instrs[i], out[0].Instrs[i])
+		}
+	}
+	if out[0] == progs[0] {
+		t.Fatal("minimizer returned the input program pointer instead of a copy")
+	}
+}
+
+func TestMinimizeCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := isa.NewBuilder("c")
+	b.Li(1, 1)
+	b.Halt()
+	out := minimizeProgs(ctx, []*isa.Program{b.MustBuild()}, func(context.Context, []*isa.Program) bool {
+		return true
+	})
+	if len(out) != 1 {
+		t.Fatalf("unexpected shape: %+v", out)
+	}
+}
+
+func TestMinimizeMultiProgramConverges(t *testing.T) {
+	mk := func(name string) *isa.Program {
+		b := isa.NewBuilder(name)
+		b.Li(1, 1)
+		b.Li(2, 2)
+		b.St(2, 1, 0)
+		b.Halt()
+		return b.MustBuild()
+	}
+	progs := []*isa.Program{mk("t0"), mk("t1")}
+	// Keep requires at least one store somewhere: the minimum is 1
+	// surviving non-nop instruction per the keep predicate's needs.
+	out := minimizeProgs(context.Background(), progs, func(_ context.Context, c []*isa.Program) bool {
+		for _, p := range c {
+			for _, in := range p.Instrs {
+				if in.Op == isa.St {
+					return true
+				}
+			}
+		}
+		return false
+	})
+	stores := 0
+	for _, p := range out {
+		for _, in := range p.Instrs {
+			if in.Op == isa.St {
+				stores++
+			}
+		}
+	}
+	if stores != 1 {
+		t.Fatalf("want exactly 1 surviving store, got %d (non-nop=%d)", stores, countNonNop(out))
+	}
+}

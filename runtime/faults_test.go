@@ -1,0 +1,232 @@
+package asymruntime
+
+import (
+	"sync"
+	"testing"
+
+	"asymfence/internal/metrics"
+)
+
+// injectFaults installs an injector for one test and guarantees removal.
+func injectFaults(t *testing.T, f *FaultInjector) {
+	t.Helper()
+	InjectFaults(f)
+	t.Cleanup(func() { InjectFaults(nil) })
+}
+
+func TestFaultDrawDeterministic(t *testing.T) {
+	mk := func() []bool {
+		f := NewFaultInjector(42, FaultConfig{EINTRProb: 3})
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, f.fenceFault() != nil)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identically seeded injectors", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("EINTRProb=3 fired %d/%d times; want a nontrivial rate", fired, len(a))
+	}
+}
+
+func TestFaultFailAfterIsPersistent(t *testing.T) {
+	f := NewFaultInjector(1, FaultConfig{FailAfter: 4})
+	for i := 0; i < 4; i++ {
+		if err := f.fenceFault(); err != nil {
+			t.Fatalf("call %d faulted before FailAfter: %v", i, err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		err := f.fenceFault()
+		if err == nil {
+			t.Fatalf("call %d after FailAfter succeeded", i)
+		}
+		if transientFault(err) {
+			t.Fatalf("persistent failure classified transient: %v", err)
+		}
+	}
+	if f.FenceCalls() != 14 {
+		t.Fatalf("FenceCalls = %d, want 14", f.FenceCalls())
+	}
+}
+
+func TestDenyProbeIsDynamic(t *testing.T) {
+	real := Supported()
+	injectFaults(t, NewFaultInjector(1, FaultConfig{DenyProbe: true}))
+	if Supported() {
+		t.Fatal("Supported() = true with DenyProbe installed")
+	}
+	if err := Use(ModeMembarrier); err != ErrUnsupported {
+		t.Fatalf("Use(ModeMembarrier) = %v under DenyProbe, want ErrUnsupported", err)
+	}
+	InjectFaults(nil)
+	if Supported() != real {
+		t.Fatalf("Supported() = %v after uninstall, want cached real value %v", Supported(), real)
+	}
+	_ = Use(ModeAuto)
+}
+
+func TestDenyRegister(t *testing.T) {
+	if !Supported() {
+		t.Skip("membarrier unsupported on this host")
+	}
+	if registered {
+		// Registration is per-process and already happened; denial can
+		// no longer bite, which is itself the documented contract.
+		t.Skip("process already registered")
+	}
+	injectFaults(t, NewFaultInjector(1, FaultConfig{DenyRegister: true}))
+	if err := Use(ModeMembarrier); err != ErrUnsupported {
+		t.Fatalf("Use(ModeMembarrier) = %v under DenyRegister, want ErrUnsupported", err)
+	}
+	_ = Use(ModeAuto)
+}
+
+// TestHeavyFenceRetriesEINTR: transient faults are retried, counted,
+// and never degrade the path.
+func TestHeavyFenceRetriesEINTR(t *testing.T) {
+	if !Supported() {
+		t.Skip("membarrier unsupported on this host")
+	}
+	setMode(t, ModeMembarrier)
+	injectFaults(t, NewFaultInjector(7, FaultConfig{EINTRProb: 4}))
+	before := ReadStats()
+	for i := 0; i < 200; i++ {
+		HeavyFence()
+	}
+	after := ReadStats()
+	if after.Active != ModeMembarrier {
+		// 9 consecutive 1-in-4 draws firing is ~4e-6 per fence; with
+		// this fixed seed it must not happen.
+		t.Fatalf("path degraded under EINTR-only faults: %v", after.Active)
+	}
+	if n := after.HeavyMembarrier - before.HeavyMembarrier; n != 200 {
+		t.Errorf("membarrier fences grew by %d, want 200", n)
+	}
+	if after.EINTRRetries == before.EINTRRetries {
+		t.Errorf("no EINTR retries recorded under 1-in-2 EINTR injection")
+	}
+	if after.Degradations != before.Degradations {
+		t.Errorf("degradation recorded for transient-only faults")
+	}
+}
+
+// TestHeavyFenceDegradesOnPersistentFailure: a persistent membarrier
+// failure mid-run flips the process to the fallback path exactly once,
+// every later fence stays on fallback, and nothing panics.
+func TestHeavyFenceDegradesOnPersistentFailure(t *testing.T) {
+	if !Supported() {
+		t.Skip("membarrier unsupported on this host")
+	}
+	setMode(t, ModeMembarrier)
+	injectFaults(t, NewFaultInjector(3, FaultConfig{FailAfter: 10}))
+	before := ReadStats()
+	for i := 0; i < 50; i++ {
+		HeavyFence()
+		LightFence()
+	}
+	after := ReadStats()
+	if after.Active != ModeFallback {
+		t.Fatalf("Active = %v after persistent failure, want fallback", after.Active)
+	}
+	if n := after.Degradations - before.Degradations; n != 1 {
+		t.Errorf("degradations grew by %d, want exactly 1", n)
+	}
+	if after.HeavyMembarrier-before.HeavyMembarrier > 10 {
+		t.Errorf("more membarrier fences (%d) than FailAfter allows",
+			after.HeavyMembarrier-before.HeavyMembarrier)
+	}
+	if after.HeavyFallback-before.HeavyFallback < 40 {
+		t.Errorf("fallback fences grew by %d, want ≥ 40",
+			after.HeavyFallback-before.HeavyFallback)
+	}
+}
+
+// TestConcurrentDegradation drives fences from many goroutines while
+// the injector turns membarrier persistently unavailable, under -race.
+func TestConcurrentDegradation(t *testing.T) {
+	if !Supported() {
+		t.Skip("membarrier unsupported on this host")
+	}
+	setMode(t, ModeMembarrier)
+	injectFaults(t, NewFaultInjector(11, FaultConfig{EINTRProb: 4, FailAfter: 30}))
+	before := ReadStats()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				LightFence()
+				HeavyFence()
+			}
+		}()
+	}
+	wg.Wait()
+	after := ReadStats()
+	if after.Active != ModeFallback {
+		t.Fatalf("Active = %v, want fallback after persistent failure", after.Active)
+	}
+	if n := after.Degradations - before.Degradations; n != 1 {
+		t.Errorf("degradations grew by %d, want exactly 1 (degrade must be idempotent)", n)
+	}
+}
+
+// TestStatsSnapshotConsistency is the satellite-2 regression: ReadStats
+// and Export racing concurrent Use mode switches and fences must never
+// observe a torn snapshot (Active == membarrier while Registered is
+// still false) and must be -race clean.
+func TestStatsSnapshotConsistency(t *testing.T) {
+	modes := testableModes()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // mode switcher
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = Use(modes[i%len(modes)])
+			if i%3 == 0 {
+				_ = Use(ModeAuto)
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // fence traffic
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			LightFence()
+			HeavyFence()
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		st := ReadStats()
+		if st.Active == ModeMembarrier && !st.Registered {
+			t.Fatalf("torn snapshot: Active=membarrier, Registered=false (%+v)", st)
+		}
+		if i%100 == 0 {
+			Export(metrics.NewRegistry())
+		}
+	}
+	close(stop)
+	wg.Wait()
+	t.Cleanup(func() { _ = Use(ModeAuto) })
+}

@@ -1,0 +1,256 @@
+// Package litmusrun executes generated litmus programs as real
+// goroutines over sync/atomic, with the program's fence points mapped
+// onto the asymruntime fence pair — the silicon half of the
+// cross-domain conformance harness (ROBUSTNESS.md §8).
+//
+// Each simulated core becomes one goroutine; shared-region words become
+// atomic.Uint32 cells seeded with the litmus initial image; wfence
+// becomes asymruntime.LightFence and sfence asymruntime.HeavyFence, so
+// the generated Dekker-style handshakes exercise the exact
+// light/heavy pairing the runtime ships. Thread-local instruction
+// semantics are shared with the reference TSO machine (tso.Local), so
+// the two domains cannot drift on functional behavior.
+//
+// Go's sync/atomic loads, stores and swaps are sequentially
+// consistent, so every outcome a run observes must be a sequentially
+// consistent interleaving — a refinement of the TSO-strong closure the
+// enumerator computes (tso.Strong treats every fence as a drain). A
+// final state outside that closure is a conformance violation: either
+// the runtime's fence pairing or the simulator's oracle is wrong.
+//
+// Schedule diversity comes from seeded, deterministic-decision jitter:
+// randomized goroutine yields before memory operations and a
+// per-iteration GOMAXPROCS choice. The decisions are a pure function of
+// (seed, iteration, thread, draw counter); what the Go scheduler does
+// with the yields is of course nondeterministic — that is the point.
+package litmusrun
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"asymfence/internal/isa"
+	"asymfence/internal/mem"
+	"asymfence/internal/tso"
+	"asymfence/internal/workloads/litmus"
+	asymruntime "asymfence/runtime"
+)
+
+// Config parameterizes Run. The zero value is usable.
+type Config struct {
+	// Iterations is how many times the program group is executed
+	// (default 256). Each iteration contributes one outcome.
+	Iterations int
+	// Seed drives the yield and GOMAXPROCS jitter streams (default 1).
+	Seed uint64
+	// MaxSteps bounds one thread's executed instructions per iteration
+	// (default 1_000_000); past it the run fails with ErrRunaway.
+	MaxSteps int
+	// NoProcsJitter pins GOMAXPROCS to its current value instead of
+	// sweeping it across iterations.
+	NoProcsJitter bool
+}
+
+// Result is the observation summary of one Run.
+type Result struct {
+	// Outcomes is the set of distinct final states observed.
+	Outcomes litmus.OutcomeSet
+	// Iterations is the number of executions performed.
+	Iterations int
+}
+
+// ErrRunaway reports a thread that exceeded Config.MaxSteps — only
+// possible with backward branches, which the generator never emits.
+var ErrRunaway = errors.New("litmusrun: runaway execution (backward branch loop?)")
+
+// splitmix64 is the standard stateless 64-bit mix; decisions hash
+// (seed, iteration, thread, counter) through it, same pattern as
+// internal/faults.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// image is one iteration's memory: the shared region as word-indexed
+// atomic cells plus a lazy map for any access outside it (minimized or
+// hand-built programs may compute such addresses; generated ones do
+// not). The addressing discipline matches the simulator's functional
+// store and the TSO machine: cells are keyed by exact address, and a
+// never-written cell reads zero.
+type image struct {
+	base  mem.Addr
+	words []atomic.Uint32
+	extra sync.Map // mem.Addr -> *atomic.Uint32
+}
+
+func newImage(shared mem.Region) *image {
+	img := &image{base: shared.Base, words: make([]atomic.Uint32, shared.Size/mem.WordSize)}
+	for i := range img.words {
+		img.words[i].Store(litmus.InitWord(i))
+	}
+	return img
+}
+
+// cell returns the atomic cell backing addr: a region word when addr is
+// a word-aligned region address, a (lazily created) extra cell
+// otherwise.
+func (img *image) cell(a mem.Addr) *atomic.Uint32 {
+	off := a - img.base
+	if a >= img.base && off%mem.WordSize == 0 {
+		if i := int(off / mem.WordSize); i < len(img.words) {
+			return &img.words[i]
+		}
+	}
+	p, _ := img.extra.LoadOrStore(a, new(atomic.Uint32))
+	return p.(*atomic.Uint32)
+}
+
+// load reads addr without materializing a cell for untouched addresses.
+func (img *image) load(a mem.Addr) uint32 {
+	off := a - img.base
+	if a >= img.base && off%mem.WordSize == 0 {
+		if i := int(off / mem.WordSize); i < len(img.words) {
+			return img.words[i].Load()
+		}
+	}
+	if p, ok := img.extra.Load(a); ok {
+		return p.(*atomic.Uint32).Load()
+	}
+	return 0
+}
+
+// jitter is one thread's seeded yield stream.
+type jitter struct {
+	seed uint64
+	ctr  uint64
+}
+
+// maybeYield draws one decision; roughly 1 in 4 memory operations gets
+// a scheduler yield in front of it, which is what actually shuffles
+// interleavings on a small machine.
+func (j *jitter) maybeYield() {
+	j.ctr++
+	if splitmix64(j.seed^j.ctr)%4 == 0 {
+		runtime.Gosched()
+	}
+}
+
+// Run executes the program group Iterations times and returns the set
+// of observed final states. Run mutates GOMAXPROCS while active (unless
+// NoProcsJitter) and restores it before returning; do not call it
+// concurrently with itself or with latency-sensitive code.
+func Run(progs []*isa.Program, shared mem.Region, cfg Config) (Result, error) {
+	if len(progs) == 0 {
+		return Result{}, errors.New("litmusrun: no programs")
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 256
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 1_000_000
+	}
+	res := Result{Outcomes: litmus.NewOutcomeSet()}
+
+	if !cfg.NoProcsJitter {
+		orig := runtime.GOMAXPROCS(0)
+		defer runtime.GOMAXPROCS(orig)
+	}
+	procChoices := []int{1, 2, 4}
+
+	for it := 0; it < cfg.Iterations; it++ {
+		if !cfg.NoProcsJitter {
+			runtime.GOMAXPROCS(procChoices[int(splitmix64(cfg.Seed^uint64(it)*0x9e3779b97f4a7c15)%3)])
+		}
+		o, err := runOnce(progs, shared, cfg.Seed+uint64(it)*0x100000001b3, cfg.MaxSteps)
+		if err != nil {
+			return res, err
+		}
+		res.Outcomes.Add(o)
+		res.Iterations++
+	}
+	return res, nil
+}
+
+// runOnce executes one iteration: spawn one goroutine per program,
+// release them together, join, and extract the final state.
+func runOnce(progs []*isa.Program, shared mem.Region, seed uint64, maxSteps int) (litmus.Outcome, error) {
+	img := newImage(shared)
+	regs := make([]tso.Regs, len(progs))
+	errs := make([]error, len(progs))
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for t := range progs {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			<-gate
+			errs[t] = exec(progs[t], t, &regs[t], img,
+				&jitter{seed: splitmix64(seed ^ uint64(t))}, maxSteps)
+		}(t)
+	}
+	close(gate)
+	wg.Wait()
+	for t, err := range errs {
+		if err != nil {
+			return litmus.Outcome{}, fmt.Errorf("thread %d: %w", t, err)
+		}
+	}
+	return litmus.ExtractOutcome(len(progs), shared,
+		func(t int, r isa.Reg) uint32 { return regs[t].Get(r) },
+		img.load,
+		func(f func(a mem.Addr, v uint32)) {
+			img.extra.Range(func(k, v any) bool {
+				f(k.(mem.Addr), v.(*atomic.Uint32).Load())
+				return true
+			})
+		}), nil
+}
+
+// exec interprets one thread body. Local instructions go through
+// tso.Local; memory operations become sync/atomic accesses; fence
+// points become the asymruntime pair.
+func exec(p *isa.Program, t int, regs *tso.Regs, img *image, jit *jitter, maxSteps int) error {
+	pc := 0
+	for steps := 0; ; steps++ {
+		if steps > maxSteps {
+			return ErrRunaway
+		}
+		if pc < 0 || pc >= len(p.Instrs) {
+			return nil
+		}
+		in := p.Instrs[pc]
+		if next, ok := tso.Local(in, pc, regs); ok {
+			pc = next
+			continue
+		}
+		jit.maybeYield()
+		switch in.Op {
+		case isa.Halt:
+			return nil
+		case isa.Ld:
+			a := mem.Addr(regs.Get(in.Src1) + uint32(in.Imm))
+			regs.Set(in.Dst, img.load(a))
+		case isa.St:
+			a := mem.Addr(regs.Get(in.Src1) + uint32(in.Imm))
+			img.cell(a).Store(regs.Get(in.Src2))
+		case isa.Xchg:
+			a := mem.Addr(regs.Get(in.Src1) + uint32(in.Imm))
+			regs.Set(in.Dst, img.cell(a).Swap(regs.Get(in.Src2)))
+		case isa.WFence:
+			asymruntime.LightFence()
+		case isa.SFence:
+			asymruntime.HeavyFence()
+		default:
+			return fmt.Errorf("unexpected op %v at pc %d", in.Op, pc)
+		}
+		pc++
+	}
+}

@@ -74,6 +74,9 @@ func membarrierRegister() error {
 	return err
 }
 
+// errnoIsEINTR reports whether err is the kernel's EINTR.
+func errnoIsEINTR(err error) bool { return err == syscall.EINTR }
+
 // membarrierFence issues MEMBARRIER_CMD_PRIVATE_EXPEDITED: every thread
 // of this process observes a full memory barrier before the call
 // returns (threads not currently running are already quiescent at a

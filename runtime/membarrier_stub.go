@@ -14,3 +14,6 @@ func membarrierRegister() error { return ErrUnsupported }
 
 // membarrierFence always fails off-Linux.
 func membarrierFence() error { return ErrUnsupported }
+
+// errnoIsEINTR: no kernel EINTR to classify off-Linux.
+func errnoIsEINTR(error) bool { return false }

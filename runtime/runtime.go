@@ -108,6 +108,8 @@ var (
 	statHeavyMembarrier atomic.Int64
 	statHeavyFallback   atomic.Int64
 	statFallbackActive  atomic.Int64 // times resolve() chose the fallback path
+	statEINTRRetries    atomic.Int64 // transient membarrier failures retried
+	statDegradations    atomic.Int64 // mid-run membarrier→fallback degradations
 
 	// fallbackCell is the process-wide cell behind the package-level
 	// FullFence and the degraded light/heavy paths. Degraded fences are
@@ -141,8 +143,7 @@ func envMode(v string) Mode {
 // are available here (Linux ≥ 4.14 with CONFIG_MEMBARRIER, syscall not
 // filtered). The probe is issued once and cached; it does not register.
 func Supported() bool {
-	probeOnce.Do(func() { probedOK = membarrierProbe() })
-	return probedOK
+	return probeSyscall()
 }
 
 // resolve returns the active fence path, probing and registering
@@ -178,7 +179,7 @@ func registerLocked() bool {
 	if registered {
 		return true
 	}
-	if membarrierRegister() != nil {
+	if registerSyscall() != nil {
 		return false
 	}
 	registered = true
@@ -252,19 +253,59 @@ func lightSlow() {
 // membarrier path that costs one syscall that IPIs every thread of the
 // process (microseconds); on the fallback path it is a seq-cst fence.
 func HeavyFence() {
-	if resolve() == pathMembarrier {
-		if err := membarrierFence(); err != nil {
-			// The kernel contract is that PRIVATE_EXPEDITED cannot fail
-			// after successful registration. If it does (a seccomp
-			// filter installed mid-flight), silently weakening the
-			// fence would corrupt every paired LightFence caller.
-			panic("asymruntime: membarrier PRIVATE_EXPEDITED failed after registration: " + err.Error())
-		}
-		statHeavyMembarrier.Add(1)
+	if resolve() == pathMembarrier && heavyMembarrier() {
 		return
 	}
 	fallbackCell.FullFence()
 	statHeavyFallback.Add(1)
+}
+
+// maxEINTRRetries bounds transient-failure retries of one HeavyFence
+// before it treats the failure as persistent and degrades.
+const maxEINTRRetries = 8
+
+// heavyMembarrier issues the membarrier fence with bounded EINTR retry.
+// The kernel contract is that PRIVATE_EXPEDITED cannot fail after
+// successful registration; if it does anyway (a seccomp filter
+// installed mid-flight, or an injected fault), the process degrades to
+// the fallback path — activePath flips first, so every later
+// LightFence strengthens to a full fence, and then the caller issues a
+// full fence itself. The degradation window is the failing HeavyFence
+// call: LightFences concurrent with it ran on the free path without a
+// membarrier covering them. Go's sync/atomic operations are seq-cst on
+// their own (see "What Go can express" above), so the window weakens
+// only the *additional* cross-thread ordering the explicit fence pair
+// supplies; the torture tests in thedeque/tlrw assert the ported
+// workloads' invariants survive it. Callers that cannot tolerate the
+// window can watch Stats.Degradations.
+func heavyMembarrier() bool {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = fenceSyscall()
+		if err == nil {
+			statHeavyMembarrier.Add(1)
+			return true
+		}
+		if !transientFault(err) || attempt >= maxEINTRRetries {
+			break
+		}
+		statEINTRRetries.Add(1)
+	}
+	degrade()
+	return false
+}
+
+// degrade pins the process to the fallback path after a persistent
+// membarrier failure. requested is left alone: an explicit Use call can
+// still re-arm the membarrier path if the syscall recovers.
+func degrade() {
+	modeMu.Lock()
+	if activePath.Load() == pathMembarrier {
+		activePath.Store(pathFallback)
+		statFallbackActive.Add(1)
+		statDegradations.Add(1)
+	}
+	modeMu.Unlock()
 }
 
 // Cell is a cache-line-isolated word for symmetric full fences. The
@@ -308,20 +349,35 @@ type Stats struct {
 	// fallback fence.
 	HeavyFallback int64
 	// FallbackActivations counts the times the fallback path was
-	// (re-)activated: unavailable syscall, ASYMFENCE_MODE=fallback, or
-	// Use(ModeFallback).
+	// (re-)activated: unavailable syscall, ASYMFENCE_MODE=fallback,
+	// Use(ModeFallback), or a mid-run degradation.
 	FallbackActivations int64
+	// EINTRRetries counts transient membarrier failures that HeavyFence
+	// retried.
+	EINTRRetries int64
+	// Degradations counts mid-run membarrier→fallback degradations
+	// caused by persistent membarrier failure after registration.
+	Degradations int64
 }
 
 // ReadStats returns the current fence accounting without resolving the
-// path (so it is safe to call before any fence has run).
+// path (so it is safe to call before any fence has run). The path and
+// registration flag are read under one modeMu hold — every writer of
+// either (Use, resolve, degrade) holds modeMu — so the snapshot is
+// never torn: Active == ModeMembarrier implies Registered.
 func ReadStats() Stats {
 	s := Stats{
 		HeavyMembarrier:     statHeavyMembarrier.Load(),
 		HeavyFallback:       statHeavyFallback.Load(),
 		FallbackActivations: statFallbackActive.Load(),
+		EINTRRetries:        statEINTRRetries.Load(),
+		Degradations:        statDegradations.Load(),
 	}
-	switch activePath.Load() {
+	modeMu.Lock()
+	p := activePath.Load()
+	s.Registered = registered
+	modeMu.Unlock()
+	switch p {
 	case pathMembarrier:
 		s.Active = ModeMembarrier
 	case pathFallback:
@@ -329,17 +385,14 @@ func ReadStats() Stats {
 	default:
 		s.Active = ModeAuto
 	}
-	modeMu.Lock()
-	s.Registered = registered
-	modeMu.Unlock()
-	probeOnce.Do(func() { probedOK = membarrierProbe() })
-	s.Supported = probedOK
+	s.Supported = Supported()
 	return s
 }
 
 // Export snapshots the fence accounting into the registry's "runtime"
 // scope (runtime.heavy.membarrier, runtime.heavy.fallback,
-// runtime.fallback.activations counters; runtime.registered and
+// runtime.fallback.activations, runtime.heavy.eintr_retries and
+// runtime.degradations counters; runtime.registered and
 // runtime.supported gauges), the same deterministic JSON/Prometheus
 // surface every other subsystem reports through (OBSERVABILITY.md).
 // Nil-safe: a nil registry is ignored.
@@ -352,6 +405,8 @@ func Export(reg *metrics.Registry) {
 	sc.Counter("heavy.membarrier").Add(st.HeavyMembarrier)
 	sc.Counter("heavy.fallback").Add(st.HeavyFallback)
 	sc.Counter("fallback.activations").Add(st.FallbackActivations)
+	sc.Counter("heavy.eintr_retries").Add(st.EINTRRetries)
+	sc.Counter("degradations").Add(st.Degradations)
 	b2i := func(b bool) int64 {
 		if b {
 			return 1

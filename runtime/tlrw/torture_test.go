@@ -1,0 +1,50 @@
+package tlrw
+
+import (
+	"testing"
+	"time"
+
+	asymruntime "asymfence/runtime"
+)
+
+// TestTortureNoTornReadsAcrossDegradation runs the torn-read stress
+// harness while a seeded syscall fault injector EINTRs membarrier calls
+// and then makes them fail persistently mid-run, so the lock's writer
+// drain live-degrades from the membarrier path to the symmetric
+// fallback while readers are inside their sections. The sum invariant
+// must hold across the transition and -race must stay silent: the lock
+// handshake is the only happens-before edge guarding the plain words.
+func TestTortureNoTornReadsAcrossDegradation(t *testing.T) {
+	if !asymruntime.Supported() {
+		t.Skip("membarrier unsupported on this host; no degradation to torture")
+	}
+	setMode(t, asymruntime.ModeMembarrier)
+	asymruntime.InjectFaults(asymruntime.NewFaultInjector(2,
+		asymruntime.FaultConfig{EINTRProb: 5, FailAfter: 5}))
+	t.Cleanup(func() { asymruntime.InjectFaults(nil) })
+
+	before := asymruntime.ReadStats()
+	// On a single-CPU machine the writer (the HeavyFence side) only gets
+	// preempted slices, so repeat the stress until the fault schedule has
+	// actually fired rather than assuming one pass reaches it.
+	var after asymruntime.Stats
+	for pass := 0; pass < 5; pass++ {
+		stressNoTornReads(t, Asymmetric, 2, 300*time.Millisecond)
+		if t.Failed() {
+			return
+		}
+		after = asymruntime.ReadStats()
+		if after.Degradations > before.Degradations {
+			break
+		}
+	}
+	if after.Degradations == before.Degradations {
+		t.Fatal("torture run never degraded; the fault schedule exercised nothing")
+	}
+	if after.Active != asymruntime.ModeFallback {
+		t.Fatalf("Active = %v after persistent membarrier failure, want fallback", after.Active)
+	}
+	if after.HeavyFallback == before.HeavyFallback {
+		t.Error("no heavy fences ran on the fallback path after degradation")
+	}
+}
